@@ -1,0 +1,86 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment A1 — ablation of the large/small threshold exponent alpha
+// (Section 3.2 picks alpha = 1 - 1/k). Smaller alpha declares more keywords
+// large (bigger tuple registries, deeper descents); larger alpha
+// materializes longer lists. The paper's choice should sit at or near the
+// measured optimum on a mixed workload.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/orp_kw.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr int kQueries = 48;
+
+void Run(int k) {
+  const uint32_t n_objects = 65536;
+  Rng rng(123 + k);
+  CorpusSpec spec;
+  spec.num_objects = n_objects;
+  spec.vocab_size = 4096;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(n_objects, PointDistribution::kUniform, &rng);
+
+  // Mixed workload: half W1-style (frequent keywords, tiny boxes), half
+  // W2-style (co-occurring keywords, large boxes).
+  std::vector<Box<2>> boxes;
+  std::vector<std::vector<KeywordId>> kws;
+  for (int i = 0; i < kQueries; ++i) {
+    const bool w1 = i % 2 == 0;
+    boxes.push_back(GenerateBoxQuery(std::span<const Point<2>>(pts),
+                                     w1 ? 0.001 : 0.6, &rng));
+    kws.push_back(PickQueryKeywords(
+        corpus, k, w1 ? KeywordPick::kFrequent : KeywordPick::kCooccurring,
+        &rng, /*frequent_pool=*/6));
+  }
+
+  const double paper_alpha = 1.0 - 1.0 / k;
+  std::printf("\n-- k=%d (paper alpha = %.3f) --\n", k, paper_alpha);
+  std::printf("%8s %14s %14s %16s\n", "alpha", "query(us)", "examined",
+              "index bytes/N");
+  for (double alpha : {0.15, 0.3, paper_alpha - 0.1, paper_alpha,
+                       paper_alpha + 0.1, 0.9, 0.99}) {
+    if (alpha <= 0 || alpha >= 1) continue;
+    FrameworkOptions opt;
+    opt.k = k;
+    opt.alpha = alpha;
+    OrpKwIndex<2> index(pts, &corpus, opt);
+    uint64_t examined = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      QueryStats stats;
+      index.Query(boxes[i], kws[i], &stats);
+      examined += stats.ObjectsExamined();
+    }
+    const double t = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(boxes[i], kws[i]);
+    }, /*reps=*/3) / kQueries;
+    const double bytes_per_n =
+        index.MemoryBytes() / static_cast<double>(corpus.total_weight());
+    std::printf("%8.3f %14.2f %14.1f %16.1f\n", alpha, t,
+                double(examined) / kQueries, bytes_per_n);
+    bench::PrintCsv("A1", {{"k", double(k)},
+                           {"alpha", alpha},
+                           {"query_us", t},
+                           {"examined", double(examined) / kQueries},
+                           {"bytes_per_N", bytes_per_n}});
+  }
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "A1 large/small threshold ablation (Section 3.2)",
+      "the N_u^{1-1/k} cutoff balances tuple-registry descent against "
+      "materialized-list scans; extreme alphas should degrade time or space");
+  kwsc::Run(2);
+  kwsc::Run(3);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment B — construction cost. The paper, like most PODS indexing
+// work, does not analyze preprocessing; a library user needs the numbers.
+// Build time and index size vs. N for every major index, with fitted
+// exponents: near-linear slopes mean the per-level keyword counting and
+// tuple enumeration behave as the design intends (DESIGN.md substitution 2
+// bounds construction by sum_e C(|e.Doc|, k) per level).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/dim_reduction.h"
+#include "core/orp_kw.h"
+#include "core/sp_kw_box.h"
+#include "core/sp_kw_hs.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+template <typename BuildFn>
+void Sweep(const char* name, BuildFn&& build) {
+  std::printf("\n-- %s --\n", name);
+  std::printf("%10s %14s %14s\n", "N", "build(ms)", "bytes/N");
+  std::vector<double> ns;
+  std::vector<double> times;
+  for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u, 65536u}) {
+    Rng rng(n_objects * 5 + 1);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    const double n = static_cast<double>(corpus.total_weight());
+    WallTimer timer;
+    const size_t bytes = build(corpus, &rng);
+    const double ms = timer.ElapsedMillis();
+    std::printf("%10.0f %14.2f %14.1f\n", n, ms, bytes / n);
+    bench::PrintCsv("B", {{"N", n},
+                          {"build_ms", ms},
+                          {"bytes_per_N", bytes / n}});
+    ns.push_back(n);
+    times.push_back(ms);
+  }
+  bench::PrintExponent(std::string("B build time [") + name + "]",
+                       bench::FitLogLogSlope(ns, times),
+                       1.0);  // Near-linear (polylog factors expected).
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  using namespace kwsc;
+  bench::PrintHeader(
+      "B construction cost (all indexes)",
+      "build scales near-linearly (N polylog N); preprocessing is outside "
+      "the paper's analysis but inside a user's budget");
+  FrameworkOptions opt;
+  opt.k = 2;
+
+  Sweep("OrpKwIndex<2> (Theorem 1)", [&](const Corpus& corpus, Rng* rng) {
+    auto pts = GeneratePoints<2>(corpus.num_objects(),
+                                 PointDistribution::kUniform, rng);
+    OrpKwIndex<2> index(pts, &corpus, opt);
+    return index.MemoryBytes();
+  });
+  Sweep("SpKwHsIndex (partition tree d=2)",
+        [&](const Corpus& corpus, Rng* rng) {
+          auto pts = GeneratePoints<2>(corpus.num_objects(),
+                                       PointDistribution::kUniform, rng);
+          SpKwHsIndex index(pts, &corpus, opt);
+          return index.MemoryBytes();
+        });
+  Sweep("SpKwBoxIndex<3>", [&](const Corpus& corpus, Rng* rng) {
+    auto pts = GeneratePoints<3>(corpus.num_objects(),
+                                 PointDistribution::kUniform, rng);
+    SpKwBoxIndex<3> index(pts, &corpus, opt);
+    return index.MemoryBytes();
+  });
+  Sweep("DimRedOrpKwIndex<3> (Theorem 2)",
+        [&](const Corpus& corpus, Rng* rng) {
+          auto pts = GeneratePoints<3>(corpus.num_objects(),
+                                       PointDistribution::kUniform, rng);
+          DimRedOrpKwIndex<3> index(pts, &corpus, opt);
+          return index.MemoryBytes();
+        });
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment F1 — Figure 1 / Lemma 10 (Section 3.3): crossing sensitivity.
+//
+// The analysis splits query cost into covered-node work (charged to OUT via
+// Lemma 9) and crossing-node work, and proves any vertical line — hence any
+// rectangle boundary — has crossing sensitivity O(N^{1-1/k}) on the kd-tree.
+// This bench issues degenerate "line" rectangles and full rectangles,
+// measures the two work classes separately via QueryStats, and fits the
+// crossing-work exponent. It also contrasts the ham-sandwich substrate on
+// halfplane boundaries (DESIGN.md substitution 1: expected exponent
+// log_4(3) ~ 0.79 instead of Chan's 1 - 1/d).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/orp_kw.h"
+#include "core/sp_kw_hs.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr int kQueries = 32;
+
+void KdLineAndRect(int k) {
+  std::printf("\n-- kd substrate: vertical lines and rectangles, k=%d --\n",
+              k);
+  std::printf("%10s %16s %16s %16s\n", "N", "line cross-work",
+              "rect cross-work", "rect covered");
+  std::vector<double> ns;
+  std::vector<double> line_work;
+  std::vector<double> rect_work;
+  for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u, 65536u,
+                             131072u}) {
+    Rng rng(n_objects * 37 + k);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto pts = GeneratePoints<2>(n_objects, PointDistribution::kUniform, &rng);
+    FrameworkOptions opt;
+    opt.k = k;
+    OrpKwIndex<2> index(pts, &corpus, opt);
+
+    uint64_t line_cross = 0;
+    uint64_t rect_cross = 0;
+    uint64_t rect_covered = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      auto kws = PickQueryKeywords(corpus, k, KeywordPick::kFrequent, &rng,
+                                   /*frequent_pool=*/4);
+      // Degenerate rectangle = vertical line through a data x-coordinate.
+      const double x = pts[rng.NextBounded(pts.size())][0];
+      Box<2> line{{{x, -1e30}}, {{x, 1e30}}};
+      QueryStats line_stats;
+      index.Query(line, kws, &line_stats);
+      line_cross += line_stats.crossing_work + line_stats.crossing_nodes;
+
+      auto rect = GenerateBoxQuery(std::span<const Point<2>>(pts), 0.2, &rng);
+      QueryStats rect_stats;
+      index.Query(rect, kws, &rect_stats);
+      rect_cross += rect_stats.crossing_work + rect_stats.crossing_nodes;
+      rect_covered += rect_stats.covered_work;
+    }
+    const double n_weight = static_cast<double>(corpus.total_weight());
+    std::printf("%10.0f %16.1f %16.1f %16.1f\n", n_weight,
+                double(line_cross) / kQueries, double(rect_cross) / kQueries,
+                double(rect_covered) / kQueries);
+    bench::PrintCsv("F1", {{"k", double(k)},
+                           {"N", n_weight},
+                           {"line_crossing_work", double(line_cross) / kQueries},
+                           {"rect_crossing_work", double(rect_cross) / kQueries},
+                           {"rect_covered_work",
+                            double(rect_covered) / kQueries}});
+    ns.push_back(n_weight);
+    line_work.push_back(std::max(double(line_cross) / kQueries, 1.0));
+    rect_work.push_back(std::max(double(rect_cross) / kQueries, 1.0));
+  }
+  bench::PrintExponent("F1 kd line crossing work, k=" + std::to_string(k),
+                       bench::FitLogLogSlope(ns, line_work), 1.0 - 1.0 / k);
+  bench::PrintExponent("F1 kd rect crossing work, k=" + std::to_string(k),
+                       bench::FitLogLogSlope(ns, rect_work), 1.0 - 1.0 / k);
+}
+
+void HsHalfplane() {
+  std::printf("\n-- ham-sandwich substrate: halfplane boundaries, k=2 --\n");
+  std::printf("%10s %16s %16s\n", "N", "crossing nodes", "crossing work");
+  std::vector<double> ns;
+  std::vector<double> cross_nodes;
+  for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u, 65536u}) {
+    Rng rng(n_objects * 41);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto pts = GeneratePoints<2>(n_objects, PointDistribution::kUniform, &rng);
+    FrameworkOptions opt;
+    opt.k = 2;
+    SpKwHsIndex index(pts, &corpus, opt);
+
+    uint64_t nodes = 0;
+    uint64_t work = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng,
+                                   /*frequent_pool=*/4);
+      ConvexQuery<2> q;
+      q.constraints.push_back(GenerateHalfspaceQuery(
+          std::span<const Point<2>>(pts), rng.UniformDouble(0.3, 0.7), &rng));
+      QueryStats stats;
+      index.Query(q, kws, &stats);
+      nodes += stats.crossing_nodes;
+      work += stats.crossing_work + stats.crossing_nodes;
+    }
+    const double n_weight = static_cast<double>(corpus.total_weight());
+    std::printf("%10.0f %16.1f %16.1f\n", n_weight, double(nodes) / kQueries,
+                double(work) / kQueries);
+    bench::PrintCsv("F1", {{"substrate", 1},
+                           {"N", n_weight},
+                           {"crossing_nodes", double(nodes) / kQueries},
+                           {"crossing_work", double(work) / kQueries}});
+    ns.push_back(n_weight);
+    cross_nodes.push_back(std::max(double(nodes) / kQueries, 1.0));
+  }
+  bench::PrintExponent("F1 hs halfplane crossing nodes",
+                       bench::FitLogLogSlope(ns, cross_nodes),
+                       std::log(3.0) / std::log(4.0));
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "F1 crossing sensitivity (Section 3.3, Lemma 10; Figure 1)",
+      "any vertical line / rectangle has kd crossing sensitivity "
+      "O(N^{1-1/k}); ham-sandwich halfplane crossing ~ N^{log4 3} "
+      "(substitution 1)");
+  kwsc::KdLineAndRect(2);
+  kwsc::KdLineAndRect(3);
+  kwsc::HsHalfplane();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment F2 — Figure 2 and Propositions 1-3 (Section 4): the structure
+// of the dimension-reduction tree.
+//   * Proposition 1: O(log log N) levels — levels grow by at most one when N
+//     quadruples.
+//   * Proposition 3: f_u = O(N^{1-1/k}) — max fanout per level reported.
+//   * Figure 2: a query meets at most two type-2 nodes per level — verified
+//     over a query batch.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/dim_reduction.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+void Run(uint32_t n_objects) {
+  Rng rng(n_objects);
+  CorpusSpec spec;
+  spec.num_objects = n_objects;
+  spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<3>(n_objects, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  DimRedOrpKwIndex<3> index(pts, &corpus, opt);
+  const auto shape = index.Shape();
+
+  std::printf("\nN=%llu (objects %u): levels=%d\n",
+              static_cast<unsigned long long>(corpus.total_weight()),
+              n_objects, shape.levels);
+  std::printf("%8s %12s %14s %14s\n", "level", "nodes", "max fanout",
+              "f bound(2N^.5)");
+  const double fanout_bound =
+      2.0 * std::pow(static_cast<double>(corpus.total_weight()), 0.5);
+  for (int level = 0; level < shape.levels; ++level) {
+    std::printf("%8d %12u %14llu %14.0f\n", level,
+                shape.nodes_per_level[level],
+                static_cast<unsigned long long>(
+                    shape.max_fanout_per_level[level]),
+                fanout_bound);
+  }
+
+  // Query batch: max type-2 nodes per level over 64 queries.
+  uint32_t max_type2 = 0;
+  uint64_t total_type1 = 0;
+  uint64_t total_type2 = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    auto q = GenerateBoxQuery(std::span<const Point<3>>(pts),
+                              rng.UniformDouble(0.01, 0.9), &rng);
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng);
+    QueryStats stats;
+    index.Query(q, kws, &stats);
+    total_type1 += stats.type1_nodes;
+    total_type2 += stats.type2_nodes;
+    for (uint32_t c : stats.type2_per_level) max_type2 = std::max(max_type2, c);
+  }
+  std::printf("queries: avg type-1 nodes %.1f, avg type-2 nodes %.1f, "
+              "max type-2 per level %u (Figure 2 bound: 2)\n",
+              total_type1 / 64.0, total_type2 / 64.0, max_type2);
+  bench::PrintCsv("F2", {{"N", double(corpus.total_weight())},
+                         {"levels", double(shape.levels)},
+                         {"max_type2_per_level", double(max_type2)},
+                         {"avg_type1", total_type1 / 64.0},
+                         {"avg_type2", total_type2 / 64.0}});
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "F2 dimension-reduction tree shape (Figure 2, Propositions 1-3)",
+      "O(loglog N) levels; f_u = 2*2^{k^level} capped at O(N^{1-1/k}); "
+      "at most two type-2 nodes per level per query");
+  for (uint32_t n : {4096u, 16384u, 65536u, 262144u}) kwsc::Run(n);
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment T1.9 — k-SI itself (Section 1.2 / Section 2): the framework
+// index (generalized Cohen–Porat) vs. the naive inverted-index merge.
+// Two sweeps:
+//   * OUT sweep at fixed N (two large sets with planted overlap): the
+//     index's work should grow ~ OUT^{1/k} while the naive merge is flat at
+//     Theta(N);
+//   * N sweep at OUT = 0: index work ~ N^{1-1/k}, naive ~ N. The emptiness
+//     query (footnote 4's budget device) is timed separately.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flat_hash.h"
+#include "common/random.h"
+#include "ksi/framework_ksi.h"
+#include "ksi/ksi_instance.h"
+#include "ksi/naive_ksi.h"
+
+namespace kwsc {
+namespace {
+
+// Two sets of `side` elements each sharing exactly `overlap` values.
+std::vector<std::vector<int64_t>> PlantedPair(int64_t side, int64_t overlap) {
+  std::vector<std::vector<int64_t>> sets(2);
+  for (int64_t v = 0; v < side; ++v) sets[0].push_back(v);
+  for (int64_t v = side - overlap; v < 2 * side - overlap; ++v) {
+    sets[1].push_back(v);
+  }
+  return sets;
+}
+
+void SweepOut() {
+  std::printf("\n-- OUT sweep, N = 2^16, k=2 --\n");
+  std::printf("%8s %14s %14s %14s\n", "OUT", "index(us)", "naive(us)",
+              "examined");
+  const int64_t side = 32768;
+  std::vector<double> outs;
+  std::vector<double> work;
+  for (int64_t overlap : {0, 4, 16, 64, 256, 1024, 4096}) {
+    auto sets = PlantedPair(side, overlap);
+    auto instance = KsiInstance::FromSets(sets);
+    NaiveKsi naive(&instance);
+    FrameworkOptions opt;
+    opt.k = 2;
+    FrameworkKsi framework(&instance, opt);
+    std::vector<KeywordId> q = {0, 1};
+
+    QueryStats stats;
+    auto result = framework.Report(q, &stats);
+    const double t_index =
+        bench::MedianMicros([&] { framework.Report(q); });
+    const double t_naive = bench::MedianMicros([&] { naive.Report(q); });
+    std::printf("%8lld %14.2f %14.2f %14llu\n",
+                static_cast<long long>(result.size()), t_index, t_naive,
+                static_cast<unsigned long long>(stats.ObjectsExamined()));
+    bench::PrintCsv("T1.9",
+                    {{"N", double(instance.corpus.total_weight())},
+                     {"OUT", double(result.size())},
+                     {"index_us", t_index},
+                     {"naive_us", t_naive},
+                     {"examined", double(stats.ObjectsExamined())}});
+    if (overlap > 0) {
+      outs.push_back(static_cast<double>(result.size()));
+      work.push_back(static_cast<double>(stats.ObjectsExamined()));
+    }
+  }
+  bench::PrintExponent("T1.9 work vs OUT (k=2)",
+                       bench::FitLogLogSlope(outs, work), 1.0 / 2);
+}
+
+void SweepN() {
+  std::printf("\n-- N sweep, OUT = 0, k=2 --\n");
+  std::printf("%10s %14s %14s %16s %14s\n", "N", "report(us)", "naive(us)",
+              "emptiness(us)", "examined");
+  std::vector<double> ns;
+  std::vector<double> work;
+  for (int64_t side : {4096, 8192, 16384, 32768, 65536, 131072}) {
+    auto sets = PlantedPair(side, /*overlap=*/0);
+    auto instance = KsiInstance::FromSets(sets);
+    NaiveKsi naive(&instance);
+    FrameworkOptions opt;
+    opt.k = 2;
+    FrameworkKsi framework(&instance, opt);
+    std::vector<KeywordId> q = {0, 1};
+    QueryStats stats;
+    framework.Report(q, &stats);
+    const double t_index = bench::MedianMicros([&] { framework.Report(q); });
+    const double t_naive = bench::MedianMicros([&] { naive.Report(q); });
+    const double t_empty = bench::MedianMicros([&] { framework.Empty(q); });
+    const double n = static_cast<double>(instance.corpus.total_weight());
+    std::printf("%10.0f %14.2f %14.2f %16.2f %14llu\n", n, t_index, t_naive,
+                t_empty,
+                static_cast<unsigned long long>(stats.ObjectsExamined()));
+    bench::PrintCsv("T1.9", {{"N", n},
+                             {"OUT", 0},
+                             {"index_us", t_index},
+                             {"naive_us", t_naive},
+                             {"empty_us", t_empty},
+                             {"examined", double(stats.ObjectsExamined())}});
+    ns.push_back(n);
+    work.push_back(std::max(double(stats.ObjectsExamined()), 1.0));
+  }
+  bench::PrintExponent("T1.9 work vs N at OUT=0 (k=2)",
+                       bench::FitLogLogSlope(ns, work), 0.5);
+}
+
+void SweepK() {
+  std::printf("\n-- k sweep, Zipf instance m=64 sets, N ~ 2^17 --\n");
+  std::printf("%4s %6s %10s %14s %14s\n", "k", "mix", "OUT(avg)", "index(us)", "naive(us)");
+  Rng rng(31415);
+  // One shared instance; k varies per index build.
+  std::vector<std::vector<int64_t>> sets(64);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    const size_t size = 131072 / (2 * (i + 1));
+    FlatHashSet<uint64_t> seen;
+    while (sets[i].size() < size) {
+      const int64_t v = static_cast<int64_t>(rng.NextBounded(262144));
+      if (seen.Insert(static_cast<uint64_t>(v))) sets[i].push_back(v);
+    }
+  }
+  auto instance = KsiInstance::FromSets(sets);
+  NaiveKsi naive(&instance);
+  // Two query mixes: "heavy" intersects the largest sets (OUT-dominated,
+  // where the +OUT term makes everyone pay and the merge's constants can
+  // win) and "light" intersects random sets (OUT usually tiny — the regime
+  // the index is for).
+  for (int k : {2, 3, 4}) {
+    FrameworkOptions opt;
+    opt.k = k;
+    FrameworkKsi framework(&instance, opt);
+    for (const bool heavy : {true, false}) {
+      std::vector<std::vector<KeywordId>> queries;
+      for (int i = 0; i < 16; ++i) {
+        std::vector<KeywordId> q;
+        const uint64_t pool = heavy ? 16 : sets.size();
+        while (q.size() < static_cast<size_t>(k)) {
+          KeywordId id = static_cast<KeywordId>(rng.NextBounded(pool));
+          if (std::find(q.begin(), q.end(), id) == q.end()) q.push_back(id);
+        }
+        queries.push_back(q);
+      }
+      uint64_t out_total = 0;
+      for (const auto& q : queries) out_total += framework.Report(q).size();
+      const double t_index = bench::MedianMicros([&] {
+        for (const auto& q : queries) framework.Report(q);
+      }) / queries.size();
+      const double t_naive = bench::MedianMicros([&] {
+        for (const auto& q : queries) naive.Report(q);
+      }) / queries.size();
+      std::printf("%4d %6s %10.1f %14.2f %14.2f\n", k,
+                  heavy ? "heavy" : "light",
+                  static_cast<double>(out_total) / queries.size(), t_index,
+                  t_naive);
+      bench::PrintCsv("T1.9", {{"k", double(k)},
+                               {"heavy", double(heavy)},
+                               {"OUT", double(out_total) / queries.size()},
+                               {"N", double(instance.corpus.total_weight())},
+                               {"index_us", t_index},
+                               {"naive_us", t_naive}});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "T1.9 k-SI (Section 1.2; generalized Cohen–Porat [23])",
+      "O(N) space, reporting ~ N^{1-1/k} (1 + OUT^{1/k}); emptiness ~ "
+      "N^{1-1/k}; naive merge is Theta(N)");
+  kwsc::SweepOut();
+  kwsc::SweepN();
+  kwsc::SweepK();
+  return 0;
+}

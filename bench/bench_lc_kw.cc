@@ -1,0 +1,169 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiments T1.3 + T1.6 — Table 1 rows "linear conjunction with keywords"
+// (Theorem 5) and the d <= k ORP-via-LC remark: s = O(1) halfspace
+// constraints plus k keywords, on both partition substrates (ham-sandwich
+// cells for d = 2, box cells for d = 3), vs. the naive baselines.
+
+#include <cstdio>
+
+#include "baseline/keywords_only.h"
+#include "baseline/structured_only.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/lc_kw.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr int kQueries = 24;
+
+void Run2D(int k, int num_constraints) {
+  std::printf("\n-- d=2 (ham-sandwich substrate), k=%d, s=%d --\n", k,
+              num_constraints);
+  std::printf("%10s %12s %14s %14s %14s\n", "N", "OUT(avg)", "index(us)",
+              "struct(us)", "kwonly(us)");
+  std::vector<double> ns;
+  std::vector<double> work;
+  for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u, 65536u}) {
+    Rng rng(n_objects * 7 + k + num_constraints);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto pts = GeneratePoints<2>(n_objects, PointDistribution::kUniform, &rng);
+    FrameworkOptions opt;
+    opt.k = k;
+    LcKwIndex<2> index(pts, &corpus, opt);
+    StructuredOnlyBaseline<2> structured(pts, &corpus);
+    KeywordsOnlyBaseline<2> keywords(pts, &corpus);
+
+    std::vector<ConvexQuery<2>> queries;
+    std::vector<std::vector<KeywordId>> kws;
+    for (int i = 0; i < kQueries; ++i) {
+      ConvexQuery<2> q;
+      for (int c = 0; c < num_constraints; ++c) {
+        // Moderately selective constraints; their conjunction is narrow.
+        q.constraints.push_back(GenerateHalfspaceQuery(
+            std::span<const Point<2>>(pts), rng.UniformDouble(0.1, 0.4),
+            &rng));
+      }
+      queries.push_back(std::move(q));
+      kws.push_back(PickQueryKeywords(corpus, k, KeywordPick::kFrequent, &rng,
+                                      /*frequent_pool=*/6));
+    }
+
+    uint64_t out_total = 0;
+    uint64_t examined_total = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      QueryStats stats;
+      out_total += index.Query(queries[i], kws[i], &stats).size();
+      examined_total += stats.ObjectsExamined();
+    }
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(queries[i], kws[i]);
+    }) / kQueries;
+    const double t_struct = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        structured.QueryConvex(queries[i], kws[i]);
+      }
+    }) / kQueries;
+    const double t_kw = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        keywords.QueryConvex(queries[i], kws[i]);
+      }
+    }) / kQueries;
+
+    const double n_weight = static_cast<double>(corpus.total_weight());
+    std::printf("%10.0f %12.1f %14.2f %14.2f %14.2f\n", n_weight,
+                static_cast<double>(out_total) / kQueries, t_index, t_struct,
+                t_kw);
+    bench::PrintCsv("T1.6",
+                    {{"d", 2},
+                     {"k", double(k)},
+                     {"s", double(num_constraints)},
+                     {"N", n_weight},
+                     {"OUT", static_cast<double>(out_total) / kQueries},
+                     {"index_us", t_index},
+                     {"structured_us", t_struct},
+                     {"keywords_us", t_kw}});
+    ns.push_back(n_weight);
+    work.push_back(
+        std::max(static_cast<double>(examined_total) / kQueries, 1.0));
+  }
+  bench::PrintExponent(
+      "T1.6 d=2 work vs N, k=" + std::to_string(k) +
+          " s=" + std::to_string(num_constraints),
+      bench::FitLogLogSlope(ns, work), 1.0 - 1.0 / k);
+}
+
+void Run3D(int k) {
+  std::printf("\n-- d=3 (box substrate), k=%d, s=2 --\n", k);
+  std::printf("%10s %12s %14s %14s\n", "N", "OUT(avg)", "index(us)",
+              "struct(us)");
+  for (uint32_t n_objects : {8192u, 32768u, 65536u}) {
+    Rng rng(n_objects * 11 + k);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto pts = GeneratePoints<3>(n_objects, PointDistribution::kUniform, &rng);
+    FrameworkOptions opt;
+    opt.k = k;
+    LcKwIndex<3> index(pts, &corpus, opt);
+    StructuredOnlyBaseline<3> structured(pts, &corpus);
+
+    std::vector<ConvexQuery<3>> queries;
+    std::vector<std::vector<KeywordId>> kws;
+    for (int i = 0; i < kQueries; ++i) {
+      ConvexQuery<3> q;
+      q.constraints.push_back(GenerateHalfspaceQuery(
+          std::span<const Point<3>>(pts), rng.UniformDouble(0.1, 0.4), &rng));
+      q.constraints.push_back(GenerateHalfspaceQuery(
+          std::span<const Point<3>>(pts), rng.UniformDouble(0.1, 0.4), &rng));
+      queries.push_back(std::move(q));
+      kws.push_back(PickQueryKeywords(corpus, k, KeywordPick::kFrequent, &rng,
+                                      /*frequent_pool=*/6));
+    }
+    uint64_t out_total = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      out_total += index.Query(queries[i], kws[i]).size();
+    }
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(queries[i], kws[i]);
+    }) / kQueries;
+    const double t_struct = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        structured.QueryConvex(queries[i], kws[i]);
+      }
+    }) / kQueries;
+    const double n_weight = static_cast<double>(corpus.total_weight());
+    std::printf("%10.0f %12.1f %14.2f %14.2f\n", n_weight,
+                static_cast<double>(out_total) / kQueries, t_index, t_struct);
+    bench::PrintCsv("T1.6",
+                    {{"d", 3},
+                     {"k", double(k)},
+                     {"s", 2},
+                     {"N", n_weight},
+                     {"OUT", static_cast<double>(out_total) / kQueries},
+                     {"index_us", t_index},
+                     {"structured_us", t_struct}});
+  }
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "T1.3/T1.6 LC-KW (Theorem 5 / Theorem 12)",
+      "d <= k: O(N) space, time ~ N^{1-1/k} (log N + OUT^{1/k}); d > k adds "
+      "an N^{1-1/d} crossing term (substrate crossing exponent documented in "
+      "DESIGN.md substitution 1)");
+  kwsc::Run2D(/*k=*/2, /*num_constraints=*/1);
+  kwsc::Run2D(/*k=*/2, /*num_constraints=*/3);
+  kwsc::Run2D(/*k=*/3, /*num_constraints=*/2);
+  kwsc::Run3D(/*k=*/2);
+  return 0;
+}

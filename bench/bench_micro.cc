@@ -1,0 +1,125 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Microbenchmarks of the hot substrate operations, on google-benchmark:
+// hash-table probes (the O(1) operations of T_u), posting-list intersection
+// (the naive baseline's inner loop), kd-tree range reporting, and the
+// framework query itself at a fixed size.
+
+#include <benchmark/benchmark.h>
+
+#include "common/flat_hash.h"
+#include "common/random.h"
+#include "core/orp_kw.h"
+#include "kdtree/kd_tree.h"
+#include "text/inverted_index.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+void BM_FlatHashMapFind(benchmark::State& state) {
+  const size_t n = state.range(0);
+  FlatHashMap<uint64_t, uint32_t> map;
+  map.Reserve(n);
+  Rng rng(1);
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next();
+    map[keys[i]] = static_cast<uint32_t>(i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(keys[i]));
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_FlatHashMapFind)->Range(1 << 8, 1 << 16);
+
+void BM_TupleSetContains(benchmark::State& state) {
+  FlatHashSet<uint64_t> set;
+  Rng rng(2);
+  std::vector<uint64_t> keys(4096);
+  for (auto& k : keys) {
+    k = rng.Next();
+    set.Insert(k);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Contains(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_TupleSetContains);
+
+void BM_InvertedIntersect(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(3);
+  CorpusSpec spec;
+  spec.num_objects = n;
+  spec.vocab_size = 64;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  InvertedIndex index(corpus);
+  std::vector<KeywordId> q = {0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Intersect(q));
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.total_weight());
+}
+BENCHMARK(BM_InvertedIntersect)->Range(1 << 10, 1 << 16);
+
+void BM_KdTreeRange(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(4);
+  auto pts = GeneratePoints<2>(n, PointDistribution::kUniform, &rng);
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  auto q = GenerateBoxQuery(std::span<const Point<2>>(pts), 0.01, &rng);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.RangeReport(q, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_KdTreeRange)->Range(1 << 10, 1 << 17);
+
+void BM_OrpKwQuery(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(5);
+  CorpusSpec spec;
+  spec.num_objects = n;
+  spec.vocab_size = std::max<uint32_t>(64, n / 16);
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(n, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+  auto q = GenerateBoxQuery(std::span<const Point<2>>(pts), 0.01, &rng);
+  auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(q, kws));
+  }
+}
+BENCHMARK(BM_OrpKwQuery)->Range(1 << 10, 1 << 17);
+
+void BM_OrpKwBuild(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(6);
+  CorpusSpec spec;
+  spec.num_objects = n;
+  spec.vocab_size = std::max<uint32_t>(64, n / 16);
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(n, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  for (auto _ : state) {
+    OrpKwIndex<2> index(pts, &corpus, opt);
+    benchmark::DoNotOptimize(index.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.total_weight());
+}
+BENCHMARK(BM_OrpKwBuild)->Range(1 << 10, 1 << 14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kwsc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment T1.8 — Table 1 row "L2-nearest neighbor with keywords"
+// (Corollary 7): integer grids, O(log N) binary-search steps over the
+// squared radius, each a budgeted SRP-KW threshold test.
+
+#include <cstdio>
+
+#include "baseline/keywords_only.h"
+#include "baseline/structured_only.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/nn_l2.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr int kQueries = 12;
+constexpr int64_t kMaxCoord = 1 << 20;  // O(log N)-bit coordinates.
+
+void SweepT() {
+  std::printf("\n-- t sweep at N~2^17, k=2 --\n");
+  std::printf("%8s %14s %14s %14s\n", "t", "index(us)", "struct(us)",
+              "kwonly(us)");
+  const uint32_t n_objects = 16384;
+  Rng rng(777);
+  CorpusSpec spec;
+  spec.num_objects = n_objects;
+  spec.vocab_size = 1024;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GenerateIntPoints<2>(n_objects, PointDistribution::kClustered,
+                                  &rng, kMaxCoord);
+  FrameworkOptions opt;
+  opt.k = 2;
+  L2NnIndex<2> index(pts, &corpus, opt);
+  StructuredOnlyBaseline<2, int64_t> structured(pts, &corpus);
+  KeywordsOnlyBaseline<2, int64_t> keywords(pts, &corpus);
+
+  std::vector<IntPoint<2>> queries;
+  std::vector<std::vector<KeywordId>> kws;
+  for (int i = 0; i < kQueries; ++i) {
+    queries.push_back(
+        {{rng.UniformInt(0, kMaxCoord), rng.UniformInt(0, kMaxCoord)}});
+    kws.push_back(PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng,
+                                    /*frequent_pool=*/8));
+  }
+
+  std::vector<double> ts;
+  std::vector<double> times;
+  for (uint64_t t : {1u, 4u, 16u, 64u}) {
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(queries[i], t, kws[i]);
+    }, /*reps=*/3) / kQueries;
+    const double t_struct = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        structured.QueryNearestL2(queries[i], t, kws[i]);
+      }
+    }, /*reps=*/3) / kQueries;
+    const double t_kw = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        keywords.QueryNearestL2(queries[i], t, kws[i]);
+      }
+    }, /*reps=*/3) / kQueries;
+    std::printf("%8llu %14.2f %14.2f %14.2f\n",
+                static_cast<unsigned long long>(t), t_index, t_struct, t_kw);
+    bench::PrintCsv("T1.8", {{"t", double(t)},
+                             {"N", double(corpus.total_weight())},
+                             {"index_us", t_index},
+                             {"structured_us", t_struct},
+                             {"keywords_us", t_kw}});
+    ts.push_back(static_cast<double>(t));
+    times.push_back(t_index);
+  }
+  bench::PrintExponent("T1.8 time vs t (k=2)",
+                       bench::FitLogLogSlope(ts, times), 1.0 / 2);
+}
+
+void SweepN() {
+  std::printf("\n-- N sweep at t=4, k=2 --\n");
+  std::printf("%10s %14s %14s\n", "N", "index(us)", "kwonly(us)");
+  for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u}) {
+    Rng rng(n_objects + 9);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto pts = GenerateIntPoints<2>(n_objects, PointDistribution::kUniform,
+                                    &rng, kMaxCoord);
+    FrameworkOptions opt;
+    opt.k = 2;
+    L2NnIndex<2> index(pts, &corpus, opt);
+    KeywordsOnlyBaseline<2, int64_t> keywords(pts, &corpus);
+    std::vector<IntPoint<2>> queries;
+    std::vector<std::vector<KeywordId>> kws;
+    for (int i = 0; i < kQueries; ++i) {
+      queries.push_back(
+          {{rng.UniformInt(0, kMaxCoord), rng.UniformInt(0, kMaxCoord)}});
+      kws.push_back(PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng,
+                                      /*frequent_pool=*/8));
+    }
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(queries[i], 4, kws[i]);
+    }, /*reps=*/3) / kQueries;
+    const double t_kw = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        keywords.QueryNearestL2(queries[i], 4, kws[i]);
+      }
+    }, /*reps=*/3) / kQueries;
+    std::printf("%10llu %14.2f %14.2f\n",
+                static_cast<unsigned long long>(corpus.total_weight()),
+                t_index, t_kw);
+    bench::PrintCsv("T1.8", {{"t", 4},
+                             {"N", double(corpus.total_weight())},
+                             {"index_us", t_index},
+                             {"keywords_us", t_kw}});
+  }
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "T1.8 L2NN-KW (Corollary 7)",
+      "d=2 > k-1=1 regime: time ~ log N * (N^{1-1/(d+1)} + N^{1-1/k} "
+      "t^{1/k}) on O(log N)-bit integer grids");
+  kwsc::SweepT();
+  kwsc::SweepN();
+  return 0;
+}

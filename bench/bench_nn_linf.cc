@@ -1,0 +1,135 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment T1.5 — Table 1 row "L∞-nearest neighbor with keywords"
+// (Corollary 4): time ~ N^{1-1/k} * t^{1/k} * log N. The t-sweep checks the
+// t^{1/k} factor; the N-sweep checks sublinearity; baselines are the
+// best-first kd-tree filter and the keywords-only sort.
+
+#include <cstdio>
+
+#include "baseline/keywords_only.h"
+#include "baseline/structured_only.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/nn_linf.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr int kQueries = 16;
+
+void SweepT() {
+  std::printf("\n-- t sweep at N~2^18, k=2 --\n");
+  std::printf("%8s %14s %14s %14s\n", "t", "index(us)", "struct(us)",
+              "kwonly(us)");
+  const uint32_t n_objects = 32768;
+  Rng rng(4242);
+  CorpusSpec spec;
+  spec.num_objects = n_objects;
+  spec.vocab_size = 2048;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(n_objects, PointDistribution::kClustered, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  LinfNnIndex<2> index(pts, &corpus, opt);
+  StructuredOnlyBaseline<2> structured(pts, &corpus);
+  KeywordsOnlyBaseline<2> keywords(pts, &corpus);
+
+  std::vector<Point<2>> queries;
+  std::vector<std::vector<KeywordId>> kws;
+  for (int i = 0; i < kQueries; ++i) {
+    queries.push_back({{rng.NextDouble(), rng.NextDouble()}});
+    kws.push_back(PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng,
+                                    /*frequent_pool=*/8));
+  }
+
+  std::vector<double> ts;
+  std::vector<double> times;
+  for (uint64_t t : {1u, 4u, 16u, 64u, 256u}) {
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(queries[i], t, kws[i]);
+    }, /*reps=*/3) / kQueries;
+    const double t_struct = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        structured.QueryNearestLinf(queries[i], t, kws[i]);
+      }
+    }, /*reps=*/3) / kQueries;
+    const double t_kw = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        keywords.QueryNearestLinf(queries[i], t, kws[i]);
+      }
+    }, /*reps=*/3) / kQueries;
+    std::printf("%8llu %14.2f %14.2f %14.2f\n",
+                static_cast<unsigned long long>(t), t_index, t_struct, t_kw);
+    bench::PrintCsv("T1.5", {{"t", double(t)},
+                             {"N", double(corpus.total_weight())},
+                             {"index_us", t_index},
+                             {"structured_us", t_struct},
+                             {"keywords_us", t_kw}});
+    ts.push_back(static_cast<double>(t));
+    times.push_back(t_index);
+  }
+  bench::PrintExponent("T1.5 time vs t (k=2)",
+                       bench::FitLogLogSlope(ts, times), 1.0 / 2);
+}
+
+void SweepN() {
+  std::printf("\n-- N sweep at t=8, k=2 --\n");
+  std::printf("%10s %14s %14s\n", "N", "index(us)", "kwonly(us)");
+  std::vector<double> ns;
+  std::vector<double> times;
+  for (uint32_t n_objects : {8192u, 16384u, 32768u, 65536u}) {
+    Rng rng(n_objects + 5);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto pts =
+        GeneratePoints<2>(n_objects, PointDistribution::kUniform, &rng);
+    FrameworkOptions opt;
+    opt.k = 2;
+    LinfNnIndex<2> index(pts, &corpus, opt);
+    KeywordsOnlyBaseline<2> keywords(pts, &corpus);
+    std::vector<Point<2>> queries;
+    std::vector<std::vector<KeywordId>> kws;
+    for (int i = 0; i < kQueries; ++i) {
+      queries.push_back({{rng.NextDouble(), rng.NextDouble()}});
+      kws.push_back(PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng,
+                                      /*frequent_pool=*/8));
+    }
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(queries[i], 8, kws[i]);
+    }, /*reps=*/3) / kQueries;
+    const double t_kw = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        keywords.QueryNearestLinf(queries[i], 8, kws[i]);
+      }
+    }, /*reps=*/3) / kQueries;
+    const double n_weight = static_cast<double>(corpus.total_weight());
+    std::printf("%10.0f %14.2f %14.2f\n", n_weight, t_index, t_kw);
+    bench::PrintCsv("T1.5", {{"t", 8},
+                             {"N", n_weight},
+                             {"index_us", t_index},
+                             {"keywords_us", t_kw}});
+    ns.push_back(n_weight);
+    times.push_back(t_index);
+  }
+  // The keywords-only baseline is Theta(N); the index should scale clearly
+  // slower than linearly.
+  bench::PrintExponent("T1.5 time vs N (t=8, k=2)",
+                       bench::FitLogLogSlope(ns, times), 0.5);
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "T1.5 L∞NN-KW (Corollary 4)",
+      "time ~ N^{1-1/k} * t^{1/k} * log N via O(log N) budgeted threshold "
+      "queries over candidate radii");
+  kwsc::SweepT();
+  kwsc::SweepN();
+  return 0;
+}

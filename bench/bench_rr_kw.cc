@@ -1,0 +1,134 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment T1.4 — Table 1 row "rectangle reporting with keywords"
+// (Corollary 3): d = 1 temporal intervals and d = 2 MBRs through the
+// dominance lift, vs. the keywords-only baseline (the standard approach for
+// temporal keyword search) and a full scan.
+
+#include <cstdio>
+
+#include "baseline/keywords_only.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/rr_kw.h"
+#include "kdtree/interval_tree.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr int kQueries = 24;
+
+template <int D>
+void Run(const char* label, double mean_extent, double query_half_width) {
+  std::printf("\n-- %s (k=2) --\n", label);
+  std::printf("%10s %12s %14s %14s %14s %14s\n", "N", "OUT(avg)",
+              "index(us)", "kwonly(us)", "scan(us)", "itree(us)");
+  std::vector<double> ns;
+  std::vector<double> work;
+  for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u, 65536u}) {
+    Rng rng(n_objects * 17 + D);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto rects =
+        GenerateRects<D>(n_objects, PointDistribution::kUniform, mean_extent,
+                         &rng);
+    FrameworkOptions opt;
+    opt.k = 2;
+    RrKwIndex<D> index(rects, &corpus, opt);
+    KeywordsOnlyRectBaseline<D> keywords(rects, &corpus);
+
+    std::vector<Box<D>> queries;
+    std::vector<std::vector<KeywordId>> kws;
+    for (int i = 0; i < kQueries; ++i) {
+      Box<D> q;
+      for (int dim = 0; dim < D; ++dim) {
+        const double c = rng.NextDouble();
+        q.lo[dim] = c - query_half_width;
+        q.hi[dim] = c + query_half_width;
+      }
+      queries.push_back(q);
+      kws.push_back(PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng,
+                                      /*frequent_pool=*/6));
+    }
+
+    uint64_t out_total = 0;
+    uint64_t examined_total = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      QueryStats stats;
+      out_total += index.Query(queries[i], kws[i], &stats).size();
+      examined_total += stats.ObjectsExamined();
+    }
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) index.Query(queries[i], kws[i]);
+    }) / kQueries;
+    const double t_kw = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) keywords.Query(queries[i], kws[i]);
+    }) / kQueries;
+    // Full-scan strawman: test every rectangle + document.
+    const double t_scan = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        size_t hits = 0;
+        for (ObjectId e = 0; e < rects.size(); ++e) {
+          if (rects[e].Intersects(queries[i]) &&
+              corpus.ContainsAll(e, kws[i])) {
+            ++hits;
+          }
+        }
+        (void)hits;
+      }
+    }) / kQueries;
+    // d = 1 only: the structured-only interval-tree baseline (overlap
+    // query, then keyword filter).
+    double t_itree = 0;
+    if constexpr (D == 1) {
+      IntervalTree<double> itree{std::span<const Box<1>>(rects)};
+      t_itree = bench::MedianMicros([&] {
+        for (int i = 0; i < kQueries; ++i) {
+          size_t hits = 0;
+          itree.Overlapping(queries[i].lo[0], queries[i].hi[0],
+                            [&](uint32_t e) {
+                              hits += corpus.ContainsAll(e, kws[i]);
+                              return true;
+                            });
+          (void)hits;
+        }
+      }) / kQueries;
+    }
+
+    const double n_weight = static_cast<double>(corpus.total_weight());
+    std::printf("%10.0f %12.1f %14.2f %14.2f %14.2f %14.2f\n", n_weight,
+                static_cast<double>(out_total) / kQueries, t_index, t_kw,
+                t_scan, t_itree);
+    bench::PrintCsv("T1.4",
+                    {{"d", double(D)},
+                     {"N", n_weight},
+                     {"OUT", static_cast<double>(out_total) / kQueries},
+                     {"index_us", t_index},
+                     {"keywords_us", t_kw},
+                     {"scan_us", t_scan},
+                     {"itree_us", t_itree}});
+    ns.push_back(n_weight);
+    work.push_back(
+        std::max(static_cast<double>(examined_total) / kQueries, 1.0));
+  }
+  bench::PrintExponent(std::string("T1.4 ") + label + " work vs N",
+                       bench::FitLogLogSlope(ns, work), 0.5);
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "T1.4 RR-KW (Corollary 3)",
+      "space O(N (loglog N)^{2d-2}), time ~ N^{1-1/k} (1 + OUT^{1/k}); "
+      "rectangle intersection = dominance in 2d dims");
+  kwsc::Run<1>("d=1 temporal intervals", /*mean_extent=*/0.02,
+               /*query_half_width=*/0.01);
+  kwsc::Run<2>("d=2 geographic MBRs", /*mean_extent=*/0.01,
+               /*query_half_width=*/0.02);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment SP — the space column of Table 1: bytes per unit of input size
+// N for every index, across an N sweep. Linear-space claims (Theorems 1, 5;
+// Corollaries 6, 7; k-SI) show as flat bytes/N; the dimension-reduction rows
+// show the O((loglog N)^{d-2}) growth.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/dim_reduction.h"
+#include "core/nn_linf.h"
+#include "core/orp_kw.h"
+#include "core/rr_kw.h"
+#include "core/sp_kw_box.h"
+#include "core/sp_kw_hs.h"
+#include "core/srp_kw.h"
+#include "ksi/framework_ksi.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+void Run(uint32_t n_objects) {
+  Rng rng(n_objects * 3);
+  CorpusSpec spec;
+  spec.num_objects = n_objects;
+  spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  const double n_weight = static_cast<double>(corpus.total_weight());
+  auto pts2 = GeneratePoints<2>(n_objects, PointDistribution::kUniform, &rng);
+  auto pts3 = GeneratePoints<3>(n_objects, PointDistribution::kUniform, &rng);
+  auto rects1 = GenerateRects<1>(n_objects, PointDistribution::kUniform, 0.02,
+                                 &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+
+  OrpKwIndex<2> orp(pts2, &corpus, opt);
+  SpKwHsIndex hs(pts2, &corpus, opt);
+  SpKwBoxIndex<2> sp_box(pts2, &corpus, opt);
+  SrpKwIndex<2> srp(pts2, &corpus, opt);
+  DimRedOrpKwIndex<3> dimred3(pts3, &corpus, opt);
+  RrKwIndex<1> rr1(rects1, &corpus, opt);
+
+  auto sets = GenerateKsiSets(16, n_objects, n_objects / 32.0, &rng);
+  auto instance = KsiInstance::FromSets(sets);
+  FrameworkKsi ksi(&instance, opt);
+
+  std::printf("%10.0f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+              n_weight, orp.MemoryBytes() / n_weight,
+              hs.MemoryBytes() / n_weight, sp_box.MemoryBytes() / n_weight,
+              srp.MemoryBytes() / n_weight, dimred3.MemoryBytes() / n_weight,
+              rr1.MemoryBytes() / n_weight,
+              ksi.MemoryBytes() /
+                  static_cast<double>(instance.corpus.total_weight()));
+  bench::PrintCsv(
+      "SP", {{"N", n_weight},
+             {"orp2_bpn", orp.MemoryBytes() / n_weight},
+             {"hs2_bpn", hs.MemoryBytes() / n_weight},
+             {"spbox2_bpn", sp_box.MemoryBytes() / n_weight},
+             {"srp2_bpn", srp.MemoryBytes() / n_weight},
+             {"dimred3_bpn", dimred3.MemoryBytes() / n_weight},
+             {"rr1_bpn", rr1.MemoryBytes() / n_weight},
+             {"ksi_bpn", ksi.MemoryBytes() /
+                             double(instance.corpus.total_weight())}});
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "SP space usage (Table 1 space column)",
+      "linear-space rows stay flat in bytes/N as N grows; the d=3 "
+      "dimension-reduction index grows by a loglog factor");
+  std::printf("%10s %10s %10s %10s %10s %10s %10s %10s\n", "N", "orp2",
+              "hs2", "spbox2", "srp2", "dimred3", "rr1", "ksi");
+  for (uint32_t n : {4096u, 8192u, 16384u, 32768u, 65536u}) kwsc::Run(n);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment T1.7 — Table 1 row "spherical range reporting with keywords"
+// (Corollary 6): ball queries through the lifting map, vs. the two naive
+// baselines, across selectivity and N.
+
+#include <cstdio>
+
+#include "baseline/keywords_only.h"
+#include "baseline/structured_only.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/srp_kw.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr int kQueries = 24;
+
+void Run(double ball_selectivity) {
+  std::printf("\n-- ball selectivity %.3f, k=2 --\n", ball_selectivity);
+  std::printf("%10s %12s %14s %14s %14s\n", "N", "OUT(avg)", "index(us)",
+              "struct(us)", "kwonly(us)");
+  std::vector<double> ns;
+  std::vector<double> work;
+  for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u, 65536u}) {
+    Rng rng(n_objects * 3 + 1);
+    CorpusSpec spec;
+    spec.num_objects = n_objects;
+    spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    auto pts = GeneratePoints<2>(n_objects, PointDistribution::kClustered,
+                                 &rng);
+    FrameworkOptions opt;
+    opt.k = 2;
+    SrpKwIndex<2> index(pts, &corpus, opt);
+    StructuredOnlyBaseline<2> structured(pts, &corpus);
+    KeywordsOnlyBaseline<2> keywords(pts, &corpus);
+
+    std::vector<std::pair<Point<2>, double>> balls;
+    std::vector<std::vector<KeywordId>> kws;
+    for (int i = 0; i < kQueries; ++i) {
+      balls.push_back(GenerateBallQuery(std::span<const Point<2>>(pts),
+                                        ball_selectivity, &rng));
+      kws.push_back(PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng,
+                                      /*frequent_pool=*/6));
+    }
+
+    uint64_t out_total = 0;
+    uint64_t examined_total = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      QueryStats stats;
+      out_total +=
+          index.Query(balls[i].first, balls[i].second, kws[i], &stats).size();
+      examined_total += stats.ObjectsExamined();
+    }
+    const double t_index = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        index.Query(balls[i].first, balls[i].second, kws[i]);
+      }
+    }) / kQueries;
+    const double t_struct = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        structured.QueryBall(balls[i].first, balls[i].second, kws[i]);
+      }
+    }) / kQueries;
+    const double t_kw = bench::MedianMicros([&] {
+      for (int i = 0; i < kQueries; ++i) {
+        keywords.QueryBall(balls[i].first, balls[i].second, kws[i]);
+      }
+    }) / kQueries;
+
+    const double n_weight = static_cast<double>(corpus.total_weight());
+    std::printf("%10.0f %12.1f %14.2f %14.2f %14.2f\n", n_weight,
+                static_cast<double>(out_total) / kQueries, t_index, t_struct,
+                t_kw);
+    bench::PrintCsv("T1.7",
+                    {{"sel", ball_selectivity},
+                     {"N", n_weight},
+                     {"OUT", static_cast<double>(out_total) / kQueries},
+                     {"index_us", t_index},
+                     {"structured_us", t_struct},
+                     {"keywords_us", t_kw}});
+    ns.push_back(n_weight);
+    work.push_back(
+        std::max(static_cast<double>(examined_total) / kQueries, 1.0));
+  }
+  bench::PrintExponent("T1.7 work vs N (k=2)",
+                       bench::FitLogLogSlope(ns, work),
+                       1.0 - 1.0 / (2 + 1));  // d > k - 1 regime: 1-1/(d+1).
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "T1.7 SRP-KW (Corollary 6)",
+      "d=2 > k-1=1 regime: O(N) space, time ~ N^{1-1/(d+1)} + N^{1-1/k} "
+      "OUT^{1/k}; ball -> lifted halfspace in d+1 dims");
+  kwsc::Run(/*ball_selectivity=*/0.001);
+  kwsc::Run(/*ball_selectivity=*/0.05);
+  return 0;
+}

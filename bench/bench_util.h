@@ -1,0 +1,89 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Shared harness for the experiment binaries (see DESIGN.md section 4 and
+// EXPERIMENTS.md). Each bench prints
+//   * a human-readable table of the sweep,
+//   * machine-readable "CSV," lines for downstream plotting, and
+//   * fitted log-log slopes ("measured exponents") so the scaling claims of
+//     Table 1 are checked numerically, not by eyeball.
+
+#ifndef KWSC_BENCH_BENCH_UTIL_H_
+#define KWSC_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace kwsc {
+namespace bench {
+
+/// Median wall-clock microseconds of `fn` over `reps` runs (after one
+/// warm-up run). `fn` should execute one full query batch.
+inline double MedianMicros(const std::function<void()>& fn, int reps = 5) {
+  fn();  // Warm-up.
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.ElapsedMicros());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Least-squares slope of log(y) against log(x): the measured scaling
+/// exponent. Points with non-positive coordinates are skipped.
+inline double FitLogLogSlope(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+/// Section header for a bench's output.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+}
+
+/// A machine-readable row: "CSV,<experiment>,<k1>=<v1>,...".
+inline void PrintCsv(const std::string& experiment,
+                     const std::vector<std::pair<std::string, double>>& kv) {
+  std::printf("CSV,%s", experiment.c_str());
+  for (const auto& [key, value] : kv) {
+    std::printf(",%s=%.6g", key.c_str(), value);
+  }
+  std::printf("\n");
+}
+
+inline void PrintExponent(const std::string& label, double measured,
+                          double expected) {
+  std::printf("measured exponent [%s]: %.3f (paper shape: %.3f)\n",
+              label.c_str(), measured, expected);
+}
+
+}  // namespace bench
+}  // namespace kwsc
+
+#endif  // KWSC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,208 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// A simplified IR-tree: the system community's standard spatial-keyword
+// index (Li et al. [42]; surveyed in [18, 20, 22]), included as the
+// "empirically efficient, no theoretical guarantee" competitor the paper's
+// related-work section contrasts itself against.
+//
+// Structure: an STR-bulk-loaded R-tree whose every node stores a summary of
+// the keywords appearing in its subtree (the practical equivalent of the
+// per-node inverted files of the original IR-tree). A query descends into a
+// child only if its MBR intersects the query region AND its summary contains
+// every query keyword. This prunes beautifully on skew-free data and rare
+// keywords, but offers no worst-case bound: frequent keywords appear in
+// every node's summary, degenerating the search to a pure R-tree scan of
+// the region — the blow-up Theorem 1's index provably avoids.
+
+#ifndef KWSC_BASELINE_IR_TREE_H_
+#define KWSC_BASELINE_IR_TREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "baseline/structured_only.h"  // BaselineStats.
+#include "common/flat_hash.h"
+#include "common/memory.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "text/corpus.h"
+
+namespace kwsc {
+
+template <int D, typename Scalar = double>
+class IrTree {
+ public:
+  using PointType = Point<D, Scalar>;
+  using BoxType = Box<D, Scalar>;
+
+  /// Builds over one point per corpus object. `corpus` must outlive the
+  /// tree. `leaf_capacity` is both the leaf size and the internal fanout.
+  IrTree(std::span<const PointType> points, const Corpus* corpus,
+         int leaf_capacity = 32)
+      : corpus_(corpus), points_(points.begin(), points.end()),
+        capacity_(std::max(2, leaf_capacity)) {
+    KWSC_CHECK(corpus != nullptr);
+    KWSC_CHECK(points.size() == corpus->num_objects());
+    if (points_.empty()) return;
+    // STR bulk load: recursively tile the id array by coordinate slabs.
+    std::vector<uint32_t> ids(points_.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    std::vector<uint32_t> leaves = BuildLeaves(&ids);
+    // Build internal levels bottom-up until one root remains.
+    while (leaves.size() > 1) {
+      leaves = BuildInternalLevel(std::move(leaves));
+    }
+    root_ = leaves.front();
+  }
+
+  /// Reports every object in `q` whose document has all query keywords.
+  std::vector<ObjectId> Query(const BoxType& q,
+                              std::span<const KeywordId> keywords,
+                              BaselineStats* stats = nullptr) const {
+    std::vector<ObjectId> out;
+    if (!points_.empty()) Visit(root_, q, keywords, stats, &out);
+    return out;
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = VectorBytes(points_) + VectorBytes(nodes_) +
+                   VectorBytes(children_) + VectorBytes(leaf_objects_);
+    for (const Node& node : nodes_) total += node.summary.MemoryBytes();
+    return total;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    BoxType mbr;
+    FlatHashSet<KeywordId> summary;  // Keywords anywhere in the subtree.
+    uint32_t begin = 0;   // Range into children_ (internal) or
+    uint32_t end = 0;     // leaf_objects_ (leaf).
+    bool is_leaf = false;
+  };
+
+  // Tiles `ids` into leaves of <= capacity_ objects via STR: sort by the
+  // current dimension, cut into ceil(n / target)^(1/remaining_dims) slabs,
+  // recurse with the next dimension.
+  std::vector<uint32_t> BuildLeaves(std::vector<uint32_t>* ids) {
+    std::vector<uint32_t> leaves;
+    StrTile(ids->data(), ids->size(), 0, &leaves);
+    return leaves;
+  }
+
+  void StrTile(uint32_t* ids, size_t count, int dim,
+               std::vector<uint32_t>* leaves) {
+    if (count <= static_cast<size_t>(capacity_) || dim == D) {
+      leaves->push_back(MakeLeaf(ids, count));
+      return;
+    }
+    std::sort(ids, ids + count, [&](uint32_t a, uint32_t b) {
+      if (points_[a][dim] != points_[b][dim]) {
+        return points_[a][dim] < points_[b][dim];
+      }
+      return a < b;
+    });
+    const size_t num_leaves =
+        (count + capacity_ - 1) / static_cast<size_t>(capacity_);
+    const size_t slabs = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(std::pow(static_cast<double>(num_leaves),
+                                  1.0 / (D - dim)))));
+    const size_t per_slab = (count + slabs - 1) / slabs;
+    for (size_t begin = 0; begin < count; begin += per_slab) {
+      const size_t len = std::min(per_slab, count - begin);
+      StrTile(ids + begin, len, dim + 1, leaves);
+    }
+  }
+
+  uint32_t MakeLeaf(const uint32_t* ids, size_t count) {
+    const uint32_t index = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node& node = nodes_.back();
+    node.is_leaf = true;
+    node.begin = static_cast<uint32_t>(leaf_objects_.size());
+    for (size_t i = 0; i < count; ++i) leaf_objects_.push_back(ids[i]);
+    node.end = static_cast<uint32_t>(leaf_objects_.size());
+    node.mbr.lo = points_[ids[0]];
+    node.mbr.hi = points_[ids[0]];
+    for (size_t i = 0; i < count; ++i) {
+      const PointType& p = points_[ids[i]];
+      for (int dim = 0; dim < D; ++dim) {
+        node.mbr.lo[dim] = std::min(node.mbr.lo[dim], p[dim]);
+        node.mbr.hi[dim] = std::max(node.mbr.hi[dim], p[dim]);
+      }
+      for (KeywordId w : corpus_->doc(ids[i])) node.summary.Insert(w);
+    }
+    return index;
+  }
+
+  std::vector<uint32_t> BuildInternalLevel(std::vector<uint32_t> level) {
+    // Pack `capacity_` consecutive nodes (they are spatially coherent by
+    // STR order) under each parent.
+    std::vector<uint32_t> parents;
+    for (size_t begin = 0; begin < level.size();
+         begin += static_cast<size_t>(capacity_)) {
+      const size_t len =
+          std::min(static_cast<size_t>(capacity_), level.size() - begin);
+      const uint32_t index = static_cast<uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      Node& node = nodes_.back();
+      node.is_leaf = false;
+      node.begin = static_cast<uint32_t>(children_.size());
+      for (size_t i = 0; i < len; ++i) children_.push_back(level[begin + i]);
+      node.end = static_cast<uint32_t>(children_.size());
+      node.mbr = nodes_[level[begin]].mbr;
+      for (size_t i = 0; i < len; ++i) {
+        const Node& child = nodes_[level[begin + i]];
+        for (int dim = 0; dim < D; ++dim) {
+          node.mbr.lo[dim] = std::min(node.mbr.lo[dim], child.mbr.lo[dim]);
+          node.mbr.hi[dim] = std::max(node.mbr.hi[dim], child.mbr.hi[dim]);
+        }
+        child.summary.ForEach(
+            [&node](KeywordId w) { node.summary.Insert(w); });
+      }
+      parents.push_back(index);
+    }
+    return parents;
+  }
+
+  void Visit(uint32_t node_index, const BoxType& q,
+             std::span<const KeywordId> keywords, BaselineStats* stats,
+             std::vector<ObjectId>* out) const {
+    const Node& node = nodes_[node_index];
+    if (!node.mbr.Intersects(q)) return;
+    for (KeywordId w : keywords) {
+      if (!node.summary.Contains(w)) return;  // IR-tree keyword pruning.
+    }
+    if (node.is_leaf) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const ObjectId e = leaf_objects_[i];
+        if (stats != nullptr) ++stats->candidates;
+        if (q.Contains(points_[e]) && corpus_->ContainsAll(e, keywords)) {
+          if (stats != nullptr) ++stats->results;
+          out->push_back(e);
+        }
+      }
+      return;
+    }
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      Visit(children_[i], q, keywords, stats, out);
+    }
+  }
+
+  const Corpus* corpus_;
+  std::vector<PointType> points_;
+  int capacity_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> children_;
+  std::vector<ObjectId> leaf_objects_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_BASELINE_IR_TREE_H_

@@ -1,0 +1,158 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// The "keywords only" naive baseline (Section 1): compute D(w1,...,wk) with
+// an inverted index, then discard the objects failing the structured
+// predicate. Symmetric weakness to the structured-only baseline: the
+// intersection may be huge even when the joint answer is empty.
+
+#ifndef KWSC_BASELINE_KEYWORDS_ONLY_H_
+#define KWSC_BASELINE_KEYWORDS_ONLY_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/halfspace.h"
+#include "geom/point.h"
+#include "baseline/structured_only.h"  // BaselineStats.
+#include "text/corpus.h"
+#include "text/inverted_index.h"
+
+namespace kwsc {
+
+template <int D, typename Scalar = double>
+class KeywordsOnlyBaseline {
+ public:
+  using PointType = Point<D, Scalar>;
+
+  KeywordsOnlyBaseline(std::span<const PointType> points, const Corpus* corpus)
+      : corpus_(corpus), points_(points.begin(), points.end()),
+        postings_(*corpus) {}
+
+  std::vector<ObjectId> QueryBox(const Box<D, Scalar>& q,
+                                 std::span<const KeywordId> keywords,
+                                 BaselineStats* stats = nullptr) const {
+    return Filter(keywords, stats,
+                  [&](ObjectId e) { return q.Contains(points_[e]); });
+  }
+
+  std::vector<ObjectId> QueryConvex(const ConvexQuery<D, Scalar>& q,
+                                    std::span<const KeywordId> keywords,
+                                    BaselineStats* stats = nullptr) const {
+    return Filter(keywords, stats,
+                  [&](ObjectId e) { return q.Satisfies(points_[e]); });
+  }
+
+  std::vector<ObjectId> QueryBall(const PointType& center, double radius_sq,
+                                  std::span<const KeywordId> keywords,
+                                  BaselineStats* stats = nullptr) const {
+    return Filter(keywords, stats, [&](ObjectId e) {
+      return static_cast<double>(L2DistanceSquared(points_[e], center)) <=
+             radius_sq;
+    });
+  }
+
+  /// t nearest matches under `metric` ("linf" semantics via functor): the
+  /// intersection is fully materialized, then partially sorted by distance.
+  template <typename DistanceFn>
+  std::vector<ObjectId> QueryNearest(const PointType& q, uint64_t t,
+                                     std::span<const KeywordId> keywords,
+                                     DistanceFn&& distance,
+                                     BaselineStats* stats = nullptr) const {
+    std::vector<ObjectId> matches = postings_.Intersect(keywords);
+    if (stats != nullptr) stats->candidates += matches.size();
+    const size_t keep = std::min<size_t>(t, matches.size());
+    std::partial_sort(matches.begin(), matches.begin() + keep, matches.end(),
+                      [&](ObjectId a, ObjectId b) {
+                        const double da = distance(points_[a], q);
+                        const double db = distance(points_[b], q);
+                        if (da != db) return da < db;
+                        return a < b;
+                      });
+    matches.resize(keep);
+    if (stats != nullptr) stats->results += matches.size();
+    return matches;
+  }
+
+  std::vector<ObjectId> QueryNearestLinf(const PointType& q, uint64_t t,
+                                         std::span<const KeywordId> keywords,
+                                         BaselineStats* stats = nullptr) const {
+    return QueryNearest(q, t, keywords,
+                        [](const PointType& a, const PointType& b) {
+                          return static_cast<double>(LInfDistance(a, b));
+                        },
+                        stats);
+  }
+
+  std::vector<ObjectId> QueryNearestL2(const PointType& q, uint64_t t,
+                                       std::span<const KeywordId> keywords,
+                                       BaselineStats* stats = nullptr) const {
+    return QueryNearest(q, t, keywords,
+                        [](const PointType& a, const PointType& b) {
+                          return static_cast<double>(L2DistanceSquared(a, b));
+                        },
+                        stats);
+  }
+
+  size_t MemoryBytes() const {
+    return postings_.MemoryBytes() + VectorBytes(points_);
+  }
+
+ private:
+  template <typename Pred>
+  std::vector<ObjectId> Filter(std::span<const KeywordId> keywords,
+                               BaselineStats* stats, Pred&& pred) const {
+    std::vector<ObjectId> out;
+    for (ObjectId e : postings_.Intersect(keywords)) {
+      if (stats != nullptr) ++stats->candidates;
+      if (pred(e)) {
+        if (stats != nullptr) ++stats->results;
+        out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  const Corpus* corpus_;
+  std::vector<PointType> points_;
+  InvertedIndex postings_;
+};
+
+/// Keywords-only baseline for RR-KW: the intersection is filtered by
+/// rectangle overlap instead of point containment.
+template <int D, typename Scalar = double>
+class KeywordsOnlyRectBaseline {
+ public:
+  using RectType = Box<D, Scalar>;
+
+  KeywordsOnlyRectBaseline(std::span<const RectType> rects,
+                           const Corpus* corpus)
+      : rects_(rects.begin(), rects.end()), postings_(*corpus) {}
+
+  std::vector<ObjectId> Query(const RectType& q,
+                              std::span<const KeywordId> keywords,
+                              BaselineStats* stats = nullptr) const {
+    std::vector<ObjectId> out;
+    for (ObjectId e : postings_.Intersect(keywords)) {
+      if (stats != nullptr) ++stats->candidates;
+      if (rects_[e].Intersects(q)) {
+        if (stats != nullptr) ++stats->results;
+        out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  size_t MemoryBytes() const {
+    return postings_.MemoryBytes() + VectorBytes(rects_);
+  }
+
+ private:
+  std::vector<RectType> rects_;
+  InvertedIndex postings_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_BASELINE_KEYWORDS_ONLY_H_

@@ -1,0 +1,215 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Minimal open-addressing hash containers for integral keys.
+//
+// The paper's secondary structures T_u assume perfect hashing so that "is
+// keyword w large at u" and "is this k-tuple non-empty" resolve in O(1).
+// We substitute linear-probing tables with power-of-two capacities and a
+// strong 64-bit mixer, which gives O(1) expected probes (see DESIGN.md,
+// substitution 4). The containers are insert-only — the indexes are static —
+// which keeps the implementation free of tombstones.
+
+#ifndef KWSC_COMMON_FLAT_HASH_H_
+#define KWSC_COMMON_FLAT_HASH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace kwsc {
+
+namespace internal_flat_hash {
+
+/// Smallest power of two >= max(8, 2 * n), so load factor stays <= 0.5 after
+/// reserving for n elements.
+inline size_t TableCapacityFor(size_t n) {
+  size_t cap = 8;
+  while (cap < 2 * n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace internal_flat_hash
+
+/// Insert-only hash map from an integral key to a value.
+template <typename Key, typename Value>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+
+  /// Pre-sizes the table for `n` insertions (optional but avoids rehashing).
+  void Reserve(size_t n) {
+    size_t cap = internal_flat_hash::TableCapacityFor(n);
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Inserts `key` if absent and returns a reference to its value slot.
+  Value& operator[](Key key) {
+    if (KWSC_PREDICT_FALSE(slots_.empty() || 2 * (size_ + 1) > slots_.size())) {
+      Rehash(internal_flat_hash::TableCapacityFor(size_ + 1));
+    }
+    size_t i = ProbeStart(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return slots_[i].second;
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i] = {key, Value{}};
+    ++size_;
+    return slots_[i].second;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  const Value* Find(Key key) const {
+    if (slots_.empty()) return nullptr;
+    size_t i = ProbeStart(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return &slots_[i].second;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  Value* Find(Key key) {
+    return const_cast<Value*>(static_cast<const FlatHashMap*>(this)->Find(key));
+  }
+
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all entries but keeps the allocated capacity (for reuse as a
+  /// scratch table across many small batches).
+  void Clear() {
+    std::fill(used_.begin(), used_.end(), 0);
+    size_ = 0;
+  }
+
+  /// Invokes `fn(key, value)` for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].first, slots_[i].second);
+    }
+  }
+
+  /// Heap bytes held by the table (for the space benchmarks).
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(std::pair<Key, Value>) + used_.capacity();
+  }
+
+ private:
+  size_t ProbeStart(Key key) const {
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) & mask_;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<std::pair<Key, Value>> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.assign(new_cap, {});
+    used_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      size_t j = ProbeStart(old_slots[i].first);
+      while (used_[j]) j = (j + 1) & mask_;
+      used_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+      ++size_;
+    }
+  }
+
+  std::vector<std::pair<Key, Value>> slots_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Insert-only hash set of integral keys.
+template <typename Key>
+class FlatHashSet {
+ public:
+  FlatHashSet() = default;
+
+  void Reserve(size_t n) {
+    size_t cap = internal_flat_hash::TableCapacityFor(n);
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Inserts `key`; returns true if it was newly added.
+  bool Insert(Key key) {
+    if (KWSC_PREDICT_FALSE(slots_.empty() || 2 * (size_ + 1) > slots_.size())) {
+      Rehash(internal_flat_hash::TableCapacityFor(size_ + 1));
+    }
+    size_t i = ProbeStart(key);
+    while (used_[i]) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(Key key) const {
+    if (slots_.empty()) return false;
+    size_t i = ProbeStart(key);
+    while (used_[i]) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i]);
+    }
+  }
+
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(Key) + used_.capacity();
+  }
+
+ private:
+  size_t ProbeStart(Key key) const {
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) & mask_;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<Key> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.assign(new_cap, Key{});
+    used_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      size_t j = ProbeStart(old_slots[i]);
+      while (used_[j]) j = (j + 1) & mask_;
+      used_[j] = 1;
+      slots_[j] = old_slots[i];
+      ++size_;
+    }
+  }
+
+  std::vector<Key> slots_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_FLAT_HASH_H_

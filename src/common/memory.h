@@ -1,0 +1,38 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Memory accounting helpers.
+//
+// Every index in the library exposes MemoryBytes() so the space claims of
+// Table 1 (O(N), O(N (loglog N)^{d-2}), ...) can be measured directly by
+// bench_space. These helpers make the per-container arithmetic uniform.
+
+#ifndef KWSC_COMMON_MEMORY_H_
+#define KWSC_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kwsc {
+
+/// Heap bytes held by a vector's buffer (capacity, not size, since capacity
+/// is what the allocator charged us for).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Heap bytes of a vector of vectors, including the inner buffers.
+template <typename T>
+size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  size_t total = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) total += inner.capacity() * sizeof(T);
+  return total;
+}
+
+/// Human-readable byte count, e.g. "3.2 MiB".
+std::string FormatBytes(size_t bytes);
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_MEMORY_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Deterministic operation budgets for self-terminating queries.
+//
+// Several reductions in the paper run a reporting query and "terminate it
+// manually" once it exceeds its worst-case bound (footnote 4; Appendices F
+// and G): if the query did not finish within O(N^{1-1/k} * t^{1/k}) time, the
+// answer set must be at least t. Wall-clock self-termination is
+// irreproducible, so kwsc charges every elementary step (object examined,
+// node visited) to an OpsBudget and aborts the traversal deterministically
+// when the budget is spent. See DESIGN.md, substitution 3.
+
+#ifndef KWSC_COMMON_OPS_BUDGET_H_
+#define KWSC_COMMON_OPS_BUDGET_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace kwsc {
+
+/// Counts elementary operations against a cap. A default-constructed budget
+/// is unlimited.
+class OpsBudget {
+ public:
+  /// Unlimited budget.
+  OpsBudget() = default;
+
+  /// Budget of exactly `limit` elementary operations.
+  explicit OpsBudget(uint64_t limit) : limit_(limit) {}
+
+  /// Charges `n` operations; returns false once the budget is exhausted.
+  bool Charge(uint64_t n = 1) {
+    spent_ += n;
+    return spent_ <= limit_;
+  }
+
+  bool Exhausted() const { return spent_ > limit_; }
+  uint64_t spent() const { return spent_; }
+  uint64_t limit() const { return limit_; }
+
+ private:
+  uint64_t limit_ = std::numeric_limits<uint64_t>::max();
+  uint64_t spent_ = 0;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_OPS_BUDGET_H_

@@ -1,0 +1,68 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library (workload generators, hash seeds,
+// randomized tests) draws from Rng so that runs are reproducible from a single
+// 64-bit seed. The generator is xoshiro256++, seeded via SplitMix64, which is
+// the standard recommendation for seeding xoshiro-family generators.
+
+#ifndef KWSC_COMMON_RANDOM_H_
+#define KWSC_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+/// SplitMix64 step; also useful as a cheap 64-bit mixing function.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer (stateless).
+uint64_t Mix64(uint64_t x);
+
+/// xoshiro256++ pseudo-random generator with convenience sampling helpers.
+///
+/// Not thread-safe; create one Rng per thread. Satisfies the subset of the
+/// UniformRandomBitGenerator requirements the library needs.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Creates a generator whose full state is derived from `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in the closed range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBool(double p = 0.5);
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_RANDOM_H_

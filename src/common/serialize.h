@@ -1,0 +1,109 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Minimal binary archives for persisting indexes.
+//
+// Indexes in this library are static: build once, query forever. Building,
+// however, is O(N polylog N) with real constants (keyword counting at every
+// node), so a downstream user wants to build once and reload from disk.
+// The format is little-endian PODs with explicit sizes, a magic tag and a
+// version per top-level object; readers abort on malformed input via
+// KWSC_CHECK (the archives are trusted local files, not a network surface).
+
+#ifndef KWSC_COMMON_SERIALIZE_H_
+#define KWSC_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+class OutputArchive {
+ public:
+  explicit OutputArchive(std::ostream* out) : out_(out) {
+    KWSC_CHECK(out != nullptr);
+  }
+
+  /// Writes a 4-byte magic tag plus a version number.
+  void Magic(std::string_view tag, uint32_t version) {
+    KWSC_CHECK(tag.size() == 4);
+    out_->write(tag.data(), 4);
+    Pod(version);
+  }
+
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_->write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Pod<uint64_t>(v.size());
+    if (!v.empty()) {
+      out_->write(reinterpret_cast<const char*>(v.data()),
+                  static_cast<std::streamsize>(v.size() * sizeof(T)));
+    }
+  }
+
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+class InputArchive {
+ public:
+  explicit InputArchive(std::istream* in) : in_(in) {
+    KWSC_CHECK(in != nullptr);
+  }
+
+  /// Reads and validates a magic tag; returns the stored version.
+  uint32_t Magic(std::string_view tag) {
+    KWSC_CHECK(tag.size() == 4);
+    char buf[4];
+    in_->read(buf, 4);
+    KWSC_CHECK_MSG(in_->good() && std::string_view(buf, 4) == tag,
+                   "archive magic mismatch (want %.4s)", tag.data());
+    return Pod<uint32_t>();
+  }
+
+  template <typename T>
+  T Pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    in_->read(reinterpret_cast<char*>(&value), sizeof(T));
+    KWSC_CHECK_MSG(in_->good(), "truncated archive");
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> Vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t size = Pod<uint64_t>();
+    // Guard against absurd sizes from corrupt input before allocating.
+    KWSC_CHECK_MSG(size < (uint64_t{1} << 40), "implausible vector size");
+    std::vector<T> v(size);
+    if (size > 0) {
+      in_->read(reinterpret_cast<char*>(v.data()),
+                static_cast<std::streamsize>(size * sizeof(T)));
+      KWSC_CHECK_MSG(in_->good(), "truncated archive");
+    }
+    return v;
+  }
+
+  bool ok() const { return in_->good(); }
+
+ private:
+  std::istream* in_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_SERIALIZE_H_

@@ -1,0 +1,38 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+ZipfSampler::ZipfSampler(uint64_t universe, double s)
+    : universe_(universe), s_(s), cdf_(universe) {
+  KWSC_CHECK(universe > 0);
+  KWSC_CHECK(s >= 0.0);
+  double total = 0.0;
+  for (uint64_t i = 0; i < universe; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding drift.
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint64_t rank) const {
+  KWSC_CHECK(rank < universe_);
+  double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - lo;
+}
+
+}  // namespace kwsc

@@ -1,0 +1,44 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Zipfian sampling over a finite universe.
+//
+// Keyword frequencies in text corpora are famously Zipf-distributed; the
+// paper's large/small keyword classification (Section 3.2) is designed
+// exactly for such skew, so the workload generators sample keywords from a
+// ZipfSampler. Sampling uses the inverted-CDF table method: O(W) setup,
+// O(log W) per sample, exact probabilities.
+
+#ifndef KWSC_COMMON_ZIPF_H_
+#define KWSC_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kwsc {
+
+/// Samples ranks in [0, universe) with P(rank i) proportional to 1/(i+1)^s.
+class ZipfSampler {
+ public:
+  /// `universe` must be positive; `s` is the skew (s = 0 is uniform).
+  ZipfSampler(uint64_t universe, double s);
+
+  /// Draws one rank using `rng`.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t universe() const { return universe_; }
+  double skew() const { return s_; }
+
+  /// Exact probability of drawing `rank`.
+  double Probability(uint64_t rank) const;
+
+ private:
+  uint64_t universe_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_.back() == 1.
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_ZIPF_H_

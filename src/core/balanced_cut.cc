@@ -1,0 +1,64 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "core/balanced_cut.h"
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+BalancedCut ComputeBalancedCut(std::span<const ObjectId> sorted_objects,
+                               const Corpus& corpus, uint64_t fanout) {
+  KWSC_CHECK(fanout >= 2);
+  BalancedCut cut;
+  uint64_t total = 0;
+  for (ObjectId e : sorted_objects) total += corpus.doc(e).size();
+  // Quota per group; integer division keeps weight(D_i) <= total / f exactly.
+  const uint64_t quota = total / fanout;
+
+  uint32_t pos = 0;
+  const uint32_t n = static_cast<uint32_t>(sorted_objects.size());
+  while (pos < n && cut.groups.size() < fanout) {
+    // Pack greedily while staying within the quota.
+    uint32_t begin = pos;
+    uint64_t group_weight = 0;
+    while (pos < n) {
+      const uint64_t w = corpus.doc(sorted_objects[pos]).size();
+      if (group_weight + w > quota) break;
+      group_weight += w;
+      ++pos;
+    }
+    cut.groups.push_back({begin, pos});
+    // The object that did not fit becomes a separator (if any remain and a
+    // separator slot is available).
+    if (pos < n && cut.separators.size() < fanout - 1) {
+      cut.separators.push_back(sorted_objects[pos]);
+      ++pos;
+    }
+  }
+  // By construction the scan always terminates: f - 1 separators plus f
+  // groups of quota total / f cover at least `total` weight.
+  KWSC_CHECK_MSG(pos == n,
+                 "balanced cut did not exhaust its input (%u of %u consumed)",
+                 pos, n);
+  return cut;
+}
+
+uint64_t FanoutForLevel(int k, int level, uint64_t max_fanout) {
+  KWSC_CHECK(k >= 2 && level >= 0);
+  // f = 2 * 2^(k^level), computed with saturation: once k^level >= 63 the
+  // fanout exceeds any realistic active set and is clamped.
+  uint64_t exponent = 1;  // k^0
+  for (int i = 0; i < level; ++i) {
+    if (exponent > 62 / static_cast<uint64_t>(k)) {
+      exponent = 63;
+      break;
+    }
+    exponent *= static_cast<uint64_t>(k);
+  }
+  if (exponent >= 63) return max_fanout < 2 ? 2 : max_fanout;
+  const uint64_t f = uint64_t{2} << exponent;  // 2 * 2^exponent.
+  if (max_fanout < 2) max_fanout = 2;
+  return f > max_fanout ? max_fanout : f;
+}
+
+}  // namespace kwsc

@@ -1,0 +1,53 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// f-balanced cuts (Section 4).
+//
+// Given objects sorted by a coordinate and an integer f >= 2, an f-balanced
+// cut partitions the sequence into groups D_1,...,D_f and separator objects
+// e*_1,...,e*_{f-1} such that
+//   * groups and separators are disjoint and cover the input,
+//   * groups are contiguous runs (all of D_i precedes all of D_j for i < j),
+//   * weight(D_i) <= weight(input) / f for every i.
+// The construction is the greedy scan of the paper's footnote 13: pack as
+// many objects as possible into the current group without exceeding the
+// weight quota, then promote the next object to a separator.
+
+#ifndef KWSC_CORE_BALANCED_CUT_H_
+#define KWSC_CORE_BALANCED_CUT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+struct BalancedCut {
+  /// Contiguous, possibly empty index ranges [begin, end) into the sorted
+  /// input, one per group. At most f entries; trailing empty groups are
+  /// omitted.
+  struct Group {
+    uint32_t begin;
+    uint32_t end;
+  };
+  std::vector<Group> groups;
+
+  /// The separator objects e*_i, in scan order (at most f - 1 of them).
+  std::vector<ObjectId> separators;
+};
+
+/// Computes an f-balanced cut of `sorted_objects` (already ordered by the
+/// cut coordinate) using `corpus` document sizes as weights.
+BalancedCut ComputeBalancedCut(std::span<const ObjectId> sorted_objects,
+                               const Corpus& corpus, uint64_t fanout);
+
+/// The fanout schedule of Theorem 2's tree: f_u = 2 * 2^(k^level), saturated
+/// so it never exceeds `max_fanout` (callers pass the active-set size — a
+/// fanout beyond it only creates empty groups).
+uint64_t FanoutForLevel(int k, int level, uint64_t max_fanout);
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_BALANCED_CUT_H_

@@ -1,0 +1,139 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Shared pieces of the index transformation framework (Section 3).
+//
+// Every transformed index in this library follows the paper's four steps:
+//   1. a space-partitioning tree is built on the *verbose set* (each object
+//      weighted by its document size);
+//   2. each node u carries an active set D_u^act and a pivot set D_u^pvt,
+//      plus a secondary structure T_u (NodeDirectory) recording which
+//      keywords are large at u, which k-tuples of large keywords have a
+//      non-empty intersection inside each child, and the materialized lists
+//      D_u^act(w) for keywords that just turned small;
+//   3. queries descend while all k keywords stay large, stop at the first
+//      node where one turns small (scanning its materialized list), and
+//      prune children by tuple emptiness and cell/query disjointness;
+//   4. degeneracies are removed by rank space (kd path) or deterministic
+//      tie-breaking (partition-tree path).
+// This header holds the options, statistics, and keyword-validation helpers
+// common to all of them.
+
+#ifndef KWSC_CORE_FRAMEWORK_H_
+#define KWSC_CORE_FRAMEWORK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/ops_budget.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+/// Construction options shared by the framework indexes.
+struct FrameworkOptions {
+  /// Number of keywords every query must supply (the paper fixes k >= 2 at
+  /// construction time).
+  int k = 2;
+
+  /// Large/small threshold exponent: keyword w is large at node u when
+  /// |D_u^act(w)| >= N_u^alpha. The paper's choice is alpha = 1 - 1/k;
+  /// bench_ablation_threshold sweeps this.
+  /// A non-positive value means "use 1 - 1/k".
+  double alpha = -1.0;
+
+  /// Nodes whose active set has at most this many objects become leaves
+  /// (their active set is their pivot set). The paper recurses to single
+  /// objects; a small constant keeps the same asymptotics with fewer nodes.
+  int leaf_objects = 4;
+
+  /// Disables the per-child k-tuple emptiness pruning (ablation A2).
+  bool enable_tuple_pruning = true;
+
+  /// Disables materialized lists: queries hitting a small keyword fall back
+  /// to scanning the whole active subtree (ablation A2).
+  bool enable_materialized_lists = true;
+
+  /// Box-substrate partition indexes only: decide cell-vs-polytope
+  /// disjointness exactly with a small LP (geom/lp.h) instead of the
+  /// conservative per-halfspace corner tests. Exact tests prune more cells
+  /// per node at a higher per-node cost; results are identical either way.
+  bool exact_cell_tests = false;
+
+  double EffectiveAlpha() const {
+    return alpha > 0 ? alpha : 1.0 - 1.0 / static_cast<double>(k);
+  }
+};
+
+/// Per-query instrumentation. All counters are optional to maintain: query
+/// entry points accept a nullptr Stats.
+struct QueryStats {
+  uint64_t nodes_visited = 0;
+  uint64_t covered_nodes = 0;    // Cell fully inside the query region.
+  uint64_t crossing_nodes = 0;   // Cell intersecting the query boundary.
+  uint64_t pivot_checks = 0;     // Objects examined from pivot sets.
+  uint64_t list_scanned = 0;     // Objects examined from materialized lists.
+  uint64_t results = 0;
+  uint64_t tuple_pruned = 0;     // Children skipped by tuple emptiness.
+  uint64_t geom_pruned = 0;      // Children skipped by cell/query tests.
+  // Objects examined at covered vs. crossing nodes — the split the analysis
+  // of Section 3.3 makes (Lemma 9 vs. the crossing-sensitivity bound (7)).
+  uint64_t covered_work = 0;
+  uint64_t crossing_work = 0;
+  // Dimension-reduction queries (Section 4): nodes whose x-range lies inside
+  // the query's x-interval (type 1, delegated to the secondary index) vs.
+  // nodes whose range straddles a boundary (type 2, pivot scans). The paper
+  // proves at most two type-2 nodes exist per level (Figure 2).
+  uint64_t type1_nodes = 0;
+  uint64_t type2_nodes = 0;
+  std::vector<uint32_t> type2_per_level;
+  bool budget_exhausted = false;
+
+  uint64_t ObjectsExamined() const { return pivot_checks + list_scanned; }
+};
+
+/// Validates a query keyword set against the construction-time k: exactly k
+/// keywords, pairwise distinct. Returns them sorted (the canonical order the
+/// tuple registries use).
+inline std::vector<KeywordId> CanonicalizeQueryKeywords(
+    std::span<const KeywordId> keywords, int k) {
+  KWSC_CHECK_MSG(static_cast<int>(keywords.size()) == k,
+                 "query must supply exactly k=%d keywords, got %zu", k,
+                 keywords.size());
+  std::vector<KeywordId> sorted(keywords.begin(), keywords.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    KWSC_CHECK_MSG(sorted[i] != sorted[i - 1],
+                   "query keywords must be distinct (duplicate %u)", sorted[i]);
+  }
+  return sorted;
+}
+
+/// The large/small cutoff at a node of weight `node_weight`:
+/// max(1, node_weight^alpha). Clamping at 1 keeps "large" meaningful at tiny
+/// nodes (a keyword with zero occurrences is never large).
+inline double LargeThreshold(uint64_t node_weight, double alpha) {
+  if (node_weight == 0) return 1.0;
+  return std::max(1.0, std::pow(static_cast<double>(node_weight), alpha));
+}
+
+/// Default operation budget for "detect whether at least t results exist"
+/// queries (Corollaries 4 and 7): C * N^{1-1/k} * t^{1/k} + C, with C chosen
+/// generously so the guarantee of the underlying reporting index is the only
+/// binding constraint.
+inline uint64_t ThresholdQueryBudget(uint64_t n, int k, uint64_t t,
+                                     double constant = 64.0) {
+  const double exponent = 1.0 - 1.0 / static_cast<double>(k);
+  const double bound = constant * (std::pow(static_cast<double>(n), exponent) *
+                                       std::pow(static_cast<double>(t),
+                                                1.0 / static_cast<double>(k)) +
+                                   1.0);
+  return static_cast<uint64_t>(bound);
+}
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_FRAMEWORK_H_

@@ -1,0 +1,74 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// LC-KW: linear conjunction with keywords (Theorem 5).
+//
+// An LC-KW query supplies s = O(1) linear constraints plus k keywords. The
+// paper proves Theorem 5 by reducing to simplex reporting (SP-KW, Theorem
+// 12) on a partition tree; this wrapper selects the substrate per dimension:
+//   * d = 2: the ham-sandwich partition tree (core/sp_kw_hs.h) — the closest
+//     implementable analogue of Chan's optimal partition tree;
+//   * d >= 3: the box-cell substrate (core/sp_kw_box.h).
+// Both answer conjunction-of-halfspace queries directly, so the
+// simplex-decomposition step of Appendix D is not needed.
+//
+// ORP-KW with d <= k can also be answered through this index (a d-rectangle
+// is the conjunction of 2d halfspaces), which is how Theorem 5 improves the
+// space of Theorem 2 to O(N); BoxToConvexQuery performs that translation.
+
+#ifndef KWSC_CORE_LC_KW_H_
+#define KWSC_CORE_LC_KW_H_
+
+#include <type_traits>
+
+#include "core/sp_kw_box.h"
+#include "core/sp_kw_hs.h"
+#include "geom/box.h"
+#include "geom/halfspace.h"
+
+namespace kwsc {
+
+namespace internal_lc_kw {
+
+template <int D, typename Scalar>
+struct SubstrateSelector {
+  using Type = SpKwBoxIndex<D, Scalar>;
+};
+
+template <>
+struct SubstrateSelector<2, double> {
+  using Type = SpKwHsIndex;
+};
+
+}  // namespace internal_lc_kw
+
+/// The LC-KW index: SpKwHsIndex in the plane, SpKwBoxIndex otherwise. Both
+/// expose Query(ConvexQuery, keywords), ContainsAtLeast, and MemoryBytes.
+template <int D, typename Scalar = double>
+using LcKwIndex = typename internal_lc_kw::SubstrateSelector<D, Scalar>::Type;
+
+/// Rewrites a d-rectangle as the conjunction of 2d halfspaces, the reduction
+/// the paper uses to answer ORP-KW via LC-KW (discussion after Theorem 5).
+/// Infinite box sides contribute no constraint.
+template <int D, typename Scalar>
+ConvexQuery<D, Scalar> BoxToConvexQuery(const Box<D, Scalar>& box) {
+  ConvexQuery<D, Scalar> q;
+  for (int dim = 0; dim < D; ++dim) {
+    if (box.hi[dim] < std::numeric_limits<Scalar>::max()) {
+      Halfspace<D, Scalar> upper;
+      upper.coeffs[dim] = 1.0;
+      upper.rhs = static_cast<double>(box.hi[dim]);
+      q.constraints.push_back(upper);
+    }
+    if (box.lo[dim] > std::numeric_limits<Scalar>::lowest()) {
+      Halfspace<D, Scalar> lower;
+      lower.coeffs[dim] = -1.0;
+      lower.rhs = -static_cast<double>(box.lo[dim]);
+      q.constraints.push_back(lower);
+    }
+  }
+  return q;
+}
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_LC_KW_H_

@@ -1,0 +1,119 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// L2NN-KW: t-nearest-neighbour under Euclidean distance with keywords
+// (Corollary 7).
+//
+// Points live on the integer grid N^d (coordinates of O(log N) bits, as the
+// problem statement requires), so squared distances are integers bounded by
+// a polynomial in N. The query binary-searches the squared radius over that
+// integer range — O(log N) steps — testing each radius with the budgeted
+// SRP-KW threshold primitive, then reports the ball at the minimal radius
+// and keeps the t closest (exact int64 arithmetic breaks ties by id, the
+// rank-space trick of the paper's general-position removal).
+
+#ifndef KWSC_CORE_NN_L2_H_
+#define KWSC_CORE_NN_L2_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/framework.h"
+#include "core/srp_kw.h"
+#include "geom/point.h"
+#include "text/corpus.h"
+
+namespace kwsc {
+
+template <int D>
+class L2NnIndex {
+ public:
+  using PointType = IntPoint<D>;
+
+  /// Coordinates must fit in 31 bits so squared distances stay exact in
+  /// int64 (and in the double arithmetic of the lifted engine).
+  L2NnIndex(std::span<const PointType> points, const Corpus* corpus,
+            FrameworkOptions options)
+      : points_(points.begin(), points.end()),
+        engine_(std::span<const PointType>(points_), corpus, options) {
+    for (const PointType& p : points_) {
+      for (int dim = 0; dim < D; ++dim) {
+        KWSC_CHECK_MSG(p[dim] >= -kMaxCoord && p[dim] <= kMaxCoord,
+                       "coordinate out of the 31-bit range");
+        max_abs_coord_ = std::max(max_abs_coord_, std::abs(p[dim]));
+      }
+    }
+  }
+
+  int k() const { return engine_.k(); }
+
+  /// Returns (up to) t objects of D(w1..wk) closest to `q` under L2,
+  /// ordered by non-decreasing distance (ties by id). Fewer than t only when
+  /// D(w1..wk) has fewer members.
+  std::vector<ObjectId> Query(const PointType& q, uint64_t t,
+                              std::span<const KeywordId> keywords,
+                              QueryStats* stats = nullptr) const {
+    KWSC_CHECK(t >= 1);
+    if (points_.empty()) return {};
+    for (int dim = 0; dim < D; ++dim) {
+      KWSC_CHECK(q[dim] >= -kMaxCoord && q[dim] <= kMaxCoord);
+    }
+    // Max possible squared distance between q and any data point.
+    int64_t max_side = 0;
+    for (int dim = 0; dim < D; ++dim) {
+      max_side = std::max(max_side, std::abs(q[dim]) + max_abs_coord_);
+    }
+    int64_t hi = static_cast<int64_t>(D) * max_side * max_side;
+
+    if (!engine_.ContainsAtLeast(q, static_cast<double>(hi), keywords, t,
+                                 stats)) {
+      // Fewer than t matches exist: report them all.
+      return FinishQuery(q, hi, t, keywords, stats);
+    }
+    // Binary search the minimal integer squared radius with >= t matches.
+    int64_t lo = 0;
+    while (lo < hi) {
+      const int64_t mid = lo + (hi - lo) / 2;
+      if (engine_.ContainsAtLeast(q, static_cast<double>(mid), keywords, t,
+                                  stats)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return FinishQuery(q, hi, t, keywords, stats);
+  }
+
+  size_t MemoryBytes() const {
+    return engine_.MemoryBytes() + VectorBytes(points_);
+  }
+
+ private:
+  static constexpr int64_t kMaxCoord = (int64_t{1} << 31) - 1;
+
+  std::vector<ObjectId> FinishQuery(const PointType& q, int64_t radius_sq,
+                                    uint64_t t,
+                                    std::span<const KeywordId> keywords,
+                                    QueryStats* stats) const {
+    std::vector<ObjectId> matches =
+        engine_.Query(q, static_cast<double>(radius_sq), keywords, stats);
+    std::sort(matches.begin(), matches.end(), [&](ObjectId a, ObjectId b) {
+      const int64_t da = L2DistanceSquared(points_[a], q);
+      const int64_t db = L2DistanceSquared(points_[b], q);
+      if (da != db) return da < db;
+      return a < b;
+    });
+    if (matches.size() > t) matches.resize(t);
+    return matches;
+  }
+
+  std::vector<PointType> points_;
+  int64_t max_abs_coord_ = 0;
+  SrpKwIndex<D, int64_t> engine_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_NN_L2_H_

@@ -1,0 +1,68 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Approximate Euclidean nearest-neighbour with keywords via the L∞ index —
+// the interpretation the paper gives right after Corollary 4: "Corollary 4
+// can also be interpreted as an approximation result under L2 distance
+// because the L∞ distance between any two points is a constant-factor
+// approximation of their L2 distance."
+//
+// Guarantee: let r2 be the true t-th smallest L2 distance among the matches.
+// Every one of those t objects has L∞ <= r2, so the t-th L∞ distance is
+// <= r2, and every object this index returns has
+//   L2 <= sqrt(d) * L∞ <= sqrt(d) * r2.
+// I.e. a sqrt(d)-approximation at the L∞ index's cost — no integer-grid
+// restriction and no lifted partition tree needed, unlike the exact
+// L2NnIndex of Corollary 7.
+
+#ifndef KWSC_CORE_NN_L2_APPROX_H_
+#define KWSC_CORE_NN_L2_APPROX_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/nn_linf.h"
+#include "geom/point.h"
+#include "text/corpus.h"
+
+namespace kwsc {
+
+template <int D, typename Scalar = double>
+class ApproxL2NnIndex {
+ public:
+  using PointType = Point<D, Scalar>;
+
+  ApproxL2NnIndex(std::span<const PointType> points, const Corpus* corpus,
+                  FrameworkOptions options)
+      : points_(points.begin(), points.end()),
+        engine_(std::span<const PointType>(points_), corpus, options) {}
+
+  int k() const { return engine_.k(); }
+
+  /// Returns (up to) t objects of D(w1..wk), each within sqrt(d) of the true
+  /// t-th Euclidean distance, ordered by non-decreasing L2 distance.
+  std::vector<ObjectId> Query(const PointType& q, uint64_t t,
+                              std::span<const KeywordId> keywords,
+                              QueryStats* stats = nullptr) const {
+    std::vector<ObjectId> result = engine_.Query(q, t, keywords, stats);
+    std::sort(result.begin(), result.end(), [&](ObjectId a, ObjectId b) {
+      const auto da = L2DistanceSquared(points_[a], q);
+      const auto db = L2DistanceSquared(points_[b], q);
+      if (da != db) return da < db;
+      return a < b;
+    });
+    return result;
+  }
+
+  size_t MemoryBytes() const {
+    return engine_.MemoryBytes() + VectorBytes(points_);
+  }
+
+ private:
+  std::vector<PointType> points_;
+  LinfNnIndex<D, Scalar> engine_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_NN_L2_APPROX_H_

@@ -1,0 +1,244 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "core/node_directory.h"
+
+#include <algorithm>
+
+#include "common/memory.h"
+
+namespace kwsc {
+
+namespace {
+
+/// Invokes `fn` on every k-combination of `sorted_lids` (ascending order is
+/// preserved inside each combination). Combinations are emitted via a scratch
+/// buffer to avoid per-combination allocation.
+template <typename Fn>
+void ForEachCombination(std::span<const uint32_t> sorted_lids, int k, Fn&& fn) {
+  const int n = static_cast<int>(sorted_lids.size());
+  if (n < k) return;
+  std::vector<uint32_t> combo(k);
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    for (int i = 0; i < k; ++i) combo[i] = sorted_lids[idx[i]];
+    fn(std::span<const uint32_t>(combo));
+    // Advance to the next combination in lexicographic order.
+    int pos = k - 1;
+    while (pos >= 0 && idx[pos] == n - k + pos) --pos;
+    if (pos < 0) break;
+    ++idx[pos];
+    for (int i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+}  // namespace
+
+uint64_t NodeDirectory::EncodeTuple(std::span<const uint32_t> lids) {
+  const int k = static_cast<int>(lids.size());
+  const int bits = 64 / k;
+  uint64_t key = 0;
+  for (uint32_t lid : lids) {
+    KWSC_DCHECK(bits >= 64 ||
+                static_cast<uint64_t>(lid) < (uint64_t{1} << bits));
+    key = (key << bits) | lid;
+  }
+  return key;
+}
+
+bool NodeDirectory::ResolveLarge(std::span<const KeywordId> sorted_keywords,
+                                 uint32_t* lids,
+                                 KeywordId* small_keyword) const {
+  for (size_t i = 0; i < sorted_keywords.size(); ++i) {
+    const uint32_t* id = large_.Find(sorted_keywords[i]);
+    if (id == nullptr) {
+      *small_keyword = sorted_keywords[i];
+      return false;
+    }
+    lids[i] = *id;
+  }
+  return true;
+}
+
+size_t NodeDirectory::MemoryBytes() const {
+  size_t total = VectorBytes(pivots_) + large_.MemoryBytes();
+  total += child_tuples_.capacity() * sizeof(FlatHashSet<uint64_t>);
+  for (const auto& set : child_tuples_) total += set.MemoryBytes();
+  total += materialized_.MemoryBytes();
+  materialized_.ForEach(
+      [&total](KeywordId, const std::vector<ObjectId>& list) {
+        total += VectorBytes(list);
+      });
+  return total;
+}
+
+namespace {
+// Archive record for one large-keyword table entry (std::pair is not
+// trivially copyable, so a plain struct is used instead).
+struct LargeEntry {
+  KeywordId keyword;
+  uint32_t lid;
+};
+}  // namespace
+
+void NodeDirectory::Save(OutputArchive* ar) const {
+  ar->Vec(pivots_);
+  ar->Pod(weight_);
+
+  std::vector<LargeEntry> large_entries;
+  large_entries.reserve(large_.size());
+  large_.ForEach([&](KeywordId w, uint32_t lid) {
+    large_entries.push_back({w, lid});
+  });
+  // Deterministic archives: canonicalize the hash-table dump order.
+  std::sort(large_entries.begin(), large_entries.end(),
+            [](const LargeEntry& a, const LargeEntry& b) {
+              return a.keyword < b.keyword;
+            });
+  ar->Vec(large_entries);
+
+  ar->Pod<uint32_t>(static_cast<uint32_t>(child_tuples_.size()));
+  for (const auto& set : child_tuples_) {
+    std::vector<uint64_t> keys;
+    keys.reserve(set.size());
+    set.ForEach([&keys](uint64_t key) { keys.push_back(key); });
+    std::sort(keys.begin(), keys.end());
+    ar->Vec(keys);
+  }
+
+  ar->Pod<uint32_t>(static_cast<uint32_t>(materialized_.size()));
+  std::vector<KeywordId> keywords;
+  materialized_.ForEach([&keywords](KeywordId w, const std::vector<ObjectId>&) {
+    keywords.push_back(w);
+  });
+  std::sort(keywords.begin(), keywords.end());
+  for (KeywordId w : keywords) {
+    ar->Pod(w);
+    ar->Vec(*materialized_.Find(w));
+  }
+}
+
+void NodeDirectory::Load(InputArchive* ar) {
+  pivots_ = ar->Vec<ObjectId>();
+  weight_ = ar->Pod<uint64_t>();
+
+  const auto large_entries = ar->Vec<LargeEntry>();
+  large_ = FlatHashMap<KeywordId, uint32_t>();
+  large_.Reserve(large_entries.size());
+  for (const auto& entry : large_entries) large_[entry.keyword] = entry.lid;
+
+  const uint32_t num_children = ar->Pod<uint32_t>();
+  child_tuples_.assign(num_children, FlatHashSet<uint64_t>());
+  for (uint32_t c = 0; c < num_children; ++c) {
+    const auto keys = ar->Vec<uint64_t>();
+    child_tuples_[c].Reserve(keys.size());
+    for (uint64_t key : keys) child_tuples_[c].Insert(key);
+  }
+
+  const uint32_t num_lists = ar->Pod<uint32_t>();
+  materialized_ = FlatHashMap<KeywordId, std::vector<ObjectId>>();
+  materialized_.Reserve(num_lists);
+  for (uint32_t i = 0; i < num_lists; ++i) {
+    const KeywordId w = ar->Pod<KeywordId>();
+    materialized_[w] = ar->Vec<ObjectId>();
+  }
+}
+
+uint64_t DirectoryBuilder::WeightOf(std::span<const ObjectId> objects) const {
+  uint64_t weight = 0;
+  for (ObjectId e : objects) weight += corpus_->doc(e).size();
+  return weight;
+}
+
+void DirectoryBuilder::BuildLeaf(std::span<const ObjectId> active,
+                                 NodeDirectory* dir) {
+  dir->pivots_.assign(active.begin(), active.end());
+  dir->weight_ = WeightOf(active);
+}
+
+void DirectoryBuilder::Build(
+    std::span<const ObjectId> active,
+    std::span<const std::vector<ObjectId>> child_active,
+    const std::vector<KeywordId>* inherited, std::vector<ObjectId> pivots,
+    NodeDirectory* dir, std::vector<KeywordId>* next_inherited) {
+  dir->pivots_ = std::move(pivots);
+  dir->weight_ = WeightOf(active);
+
+  const bool all_inherited = inherited == nullptr;
+  auto is_inherited = [&](KeywordId w) {
+    return all_inherited ||
+           std::binary_search(inherited->begin(), inherited->end(), w);
+  };
+
+  // Pass 1: occurrence counts of inherited keywords over the active set.
+  counts_.Clear();
+  for (ObjectId e : active) {
+    for (KeywordId w : corpus_->doc(e)) {
+      if (is_inherited(w)) ++counts_[w];
+    }
+  }
+
+  // Classify: w is large iff count >= max(1, N_u^alpha) (Section 3.2).
+  const double threshold =
+      LargeThreshold(dir->weight_, options_.EffectiveAlpha());
+  std::vector<KeywordId> larges;
+  counts_.ForEach([&](KeywordId w, uint32_t count) {
+    if (static_cast<double>(count) >= threshold) larges.push_back(w);
+  });
+  std::sort(larges.begin(), larges.end());
+  dir->large_.Reserve(larges.size());
+  for (uint32_t lid = 0; lid < larges.size(); ++lid) {
+    dir->large_[larges[lid]] = lid;
+  }
+  if (next_inherited != nullptr) *next_inherited = larges;
+
+  // Pass 2: materialized lists D_u^act(w) for keywords small at u but
+  // inherited (large at all proper ancestors). Objects are appended in
+  // active-set order, giving deterministic lists. The node's own pivots are
+  // excluded: the query algorithm scans the pivot set unconditionally on
+  // every visit, so listing a pivot again would report it twice (the paper's
+  // D_u^act(w) contains D_u^pvt, where the duplication is harmless only
+  // because it reports sets).
+  if (options_.enable_materialized_lists) {
+    for (ObjectId e : active) {
+      if (std::find(dir->pivots_.begin(), dir->pivots_.end(), e) !=
+          dir->pivots_.end()) {
+        continue;
+      }
+      for (KeywordId w : corpus_->doc(e)) {
+        const uint32_t* count = counts_.Find(w);
+        if (count != nullptr && static_cast<double>(*count) < threshold) {
+          dir->materialized_[w].push_back(e);
+        }
+      }
+    }
+  }
+
+  // Pass 3: per-child registry of realized non-empty k-tuples. A tuple of
+  // large keywords has a non-empty intersection inside child c iff some
+  // object in the child's active set carries all k of them, so enumerating
+  // k-combinations of each object's large keywords generates exactly the
+  // non-empty cells of the paper's bit array.
+  dir->child_tuples_.assign(child_active.size(), FlatHashSet<uint64_t>());
+  if (options_.enable_tuple_pruning) {
+    std::vector<uint32_t> doc_lids;
+    for (size_t c = 0; c < child_active.size(); ++c) {
+      FlatHashSet<uint64_t>& tuples = dir->child_tuples_[c];
+      for (ObjectId e : child_active[c]) {
+        doc_lids.clear();
+        // doc is keyword-sorted and lids increase with keyword, so doc_lids
+        // is sorted ascending.
+        for (KeywordId w : corpus_->doc(e)) {
+          const uint32_t* lid = dir->large_.Find(w);
+          if (lid != nullptr) doc_lids.push_back(*lid);
+        }
+        ForEachCombination(doc_lids, options_.k,
+                           [&tuples](std::span<const uint32_t> combo) {
+                             tuples.Insert(NodeDirectory::EncodeTuple(combo));
+                           });
+      }
+    }
+  }
+}
+
+}  // namespace kwsc

@@ -1,0 +1,133 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// NodeDirectory: the secondary structure T_u of Section 3.2.
+//
+// For a node u of a transformed tree, the directory answers in O(1):
+//   * the pivot set D_u^pvt (stored explicitly);
+//   * whether a keyword is large at u (and its local id among the large);
+//   * whether a k-tuple of large keywords has a non-empty intersection
+//     inside a given child (the paper's k-dimensional bit array, realized as
+//     a hash set of the *realized* non-empty tuples — see DESIGN.md,
+//     substitution 2);
+//   * the materialized list D_u^act(w) for keywords that are small at u but
+//     were large at every proper ancestor.
+//
+// "Large" is evaluated only over keywords that are still *inherited* (large
+// at every proper ancestor): a keyword that turned small higher up was
+// materialized there and no query can ask about it below, so tracking it
+// would waste space without changing any answer.
+
+#ifndef KWSC_CORE_NODE_DIRECTORY_H_
+#define KWSC_CORE_NODE_DIRECTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/serialize.h"
+#include "core/framework.h"
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+class NodeDirectory {
+ public:
+  NodeDirectory() = default;
+
+  /// The objects stored at this node (the paper's D_u^pvt).
+  const std::vector<ObjectId>& pivots() const { return pivots_; }
+
+  /// N_u: total document weight of the active set at this node.
+  uint64_t weight() const { return weight_; }
+
+  /// Number of keywords large (and inherited) at this node.
+  size_t num_large() const { return large_.size(); }
+
+  /// Local id of `w` among the large keywords, or -1 if w is small/absent.
+  int64_t LargeId(KeywordId w) const {
+    const uint32_t* id = large_.Find(w);
+    return id == nullptr ? -1 : static_cast<int64_t>(*id);
+  }
+
+  /// Resolves all query keywords to local large ids. Returns true iff every
+  /// keyword is large at this node; on false, *small_keyword is set to the
+  /// first keyword that is not large. `lids` receives the ids in the order
+  /// of `sorted_keywords` (which is increasing, so lids are canonical too —
+  /// local ids are assigned in increasing keyword order).
+  bool ResolveLarge(std::span<const KeywordId> sorted_keywords, uint32_t* lids,
+                    KeywordId* small_keyword) const;
+
+  /// True iff the k-tuple of large keywords (given by canonical local ids)
+  /// has a non-empty intersection within child `child`.
+  bool ChildTupleNonEmpty(size_t child, std::span<const uint32_t> lids) const {
+    return child_tuples_[child].Contains(EncodeTuple(lids));
+  }
+
+  size_t num_children() const { return child_tuples_.size(); }
+
+  /// Materialized D_u^act(w), or nullptr when w has no list here (either the
+  /// materialization condition fails or w does not occur below u).
+  const std::vector<ObjectId>* MaterializedList(KeywordId w) const {
+    return materialized_.Find(w);
+  }
+
+  size_t MemoryBytes() const;
+
+  /// Binary persistence (the index owns the surrounding framing).
+  void Save(OutputArchive* ar) const;
+  void Load(InputArchive* ar);
+
+  /// Packs up to k local ids (each < 2^(64/k)) into one 64-bit key. Local id
+  /// counts are bounded by N_u^{1/k} <= 2^{64/k}, so the packing always fits.
+  static uint64_t EncodeTuple(std::span<const uint32_t> lids);
+
+ private:
+  friend class DirectoryBuilder;
+
+  std::vector<ObjectId> pivots_;
+  FlatHashMap<KeywordId, uint32_t> large_;
+  std::vector<FlatHashSet<uint64_t>> child_tuples_;
+  FlatHashMap<KeywordId, std::vector<ObjectId>> materialized_;
+  uint64_t weight_ = 0;
+};
+
+/// Builds NodeDirectory contents during index construction. One builder is
+/// reused across nodes to amortize scratch allocations.
+class DirectoryBuilder {
+ public:
+  DirectoryBuilder(const Corpus* corpus, FrameworkOptions options)
+      : corpus_(corpus), options_(options) {}
+
+  /// Total document weight of `objects`.
+  uint64_t WeightOf(std::span<const ObjectId> objects) const;
+
+  /// Populates `dir` for a node whose active set is `active` and whose
+  /// children have active sets `child_active[0..f)`. `inherited` lists the
+  /// keywords large at every proper ancestor in sorted order; nullptr means
+  /// "all keywords" (the root). `pivots` are the objects stored at the node.
+  ///
+  /// On return, `next_inherited` (if non-null) receives the sorted keywords
+  /// that are large at this node — the inherited set for the children.
+  void Build(std::span<const ObjectId> active,
+             std::span<const std::vector<ObjectId>> child_active,
+             const std::vector<KeywordId>* inherited,
+             std::vector<ObjectId> pivots, NodeDirectory* dir,
+             std::vector<KeywordId>* next_inherited);
+
+  /// Leaf variant: the whole active set becomes the pivot set and no
+  /// large/tuple machinery is needed (the query examines pivots directly).
+  void BuildLeaf(std::span<const ObjectId> active, NodeDirectory* dir);
+
+ private:
+  const Corpus* corpus_;
+  FrameworkOptions options_;
+  // Scratch: keyword -> occurrence count within the current active set.
+  FlatHashMap<KeywordId, uint32_t> counts_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_NODE_DIRECTORY_H_

@@ -1,0 +1,427 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// ORP-KW: orthogonal range reporting with keywords (Theorem 1, Section 3).
+//
+// The index applies the paper's transformation framework to a kd-tree:
+//   * coordinates are reduced to rank space (Section 3.4), which removes all
+//     degeneracies — every object has distinct integer coordinates per
+//     dimension;
+//   * the tree splits by *document weight* (the verbose-set construction of
+//     Section 3.2: an object counts |e.Doc| times), so N_u = O(N / 2^level);
+//   * the object whose coordinate defines the split line becomes the node's
+//     pivot set (it lies on the boundary of both child cells);
+//   * each node carries a NodeDirectory: large-keyword table, per-child
+//     non-empty k-tuple registry, and materialized lists.
+//
+// A query descends from the root while all k keywords remain large, pruning
+// children whose cells miss the query rectangle or whose k-tuple
+// intersection is empty; at the first node where a keyword turns small it
+// scans that keyword's materialized list (size < N_u^{1-1/k}) and stops.
+// Query time is O(N^{1-1/k} (1 + OUT^{1/k})) for d <= 2 (Theorem 1).
+//
+// The same code runs for any constant d; for d >= 3 the crossing-sensitivity
+// guarantee weakens (Section 3.5) and core/dim_reduction.h restores it.
+
+#ifndef KWSC_CORE_ORP_KW_H_
+#define KWSC_CORE_ORP_KW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory.h"
+#include "common/ops_budget.h"
+#include "common/serialize.h"
+#include "core/framework.h"
+#include "core/node_directory.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/rank_space.h"
+#include "text/corpus.h"
+
+namespace kwsc {
+
+template <int D, typename Scalar = double>
+class OrpKwIndex {
+ public:
+  using PointType = Point<D, Scalar>;
+  using BoxType = Box<D, Scalar>;
+  using RankBox = Box<D, int64_t>;
+
+  /// Builds the index over `points` (one per corpus object, same order).
+  /// `corpus` must outlive the index.
+  OrpKwIndex(std::span<const PointType> points, const Corpus* corpus,
+             FrameworkOptions options)
+      : corpus_(corpus), options_(options), rank_(points) {
+    KWSC_CHECK(corpus != nullptr);
+    KWSC_CHECK_MSG(points.size() == corpus->num_objects(),
+                   "points (%zu) and corpus (%zu) disagree", points.size(),
+                   corpus->num_objects());
+    KWSC_CHECK_MSG(options_.k >= 2 && options_.k <= 8,
+                   "k must be in [2, 8], got %d", options_.k);
+    rank_points_.resize(points.size());
+    for (uint32_t e = 0; e < points.size(); ++e) {
+      rank_points_[e] = rank_.ToRank(e);
+    }
+    if (!points.empty()) {
+      std::vector<ObjectId> active(points.size());
+      std::iota(active.begin(), active.end(), 0);
+      DirectoryBuilder builder(corpus_, options_);
+      nodes_.reserve(2 * points.size() / options_.leaf_objects + 2);
+      BuildNode(&active, RankBox::Everything(), /*level=*/0,
+                /*inherited=*/nullptr, &builder);
+    }
+  }
+
+  int k() const { return options_.k; }
+  uint64_t total_weight() const { return corpus_->total_weight(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  const Corpus& corpus() const { return *corpus_; }
+
+  /// Reports q ∩ D(w1,...,wk). `keywords` must hold exactly k distinct
+  /// keywords.
+  std::vector<ObjectId> Query(const BoxType& q,
+                              std::span<const KeywordId> keywords,
+                              QueryStats* stats = nullptr,
+                              OpsBudget* budget = nullptr) const {
+    std::vector<ObjectId> out;
+    QueryEmit(q, keywords,
+              [&out](ObjectId e) {
+                out.push_back(e);
+                return true;
+              },
+              stats, budget);
+    return out;
+  }
+
+  /// Streaming variant; `emit` returns false to stop the query early.
+  template <typename Emit>
+  void QueryEmit(const BoxType& q, std::span<const KeywordId> keywords,
+                 Emit&& emit, QueryStats* stats = nullptr,
+                 OpsBudget* budget = nullptr) const {
+    const std::vector<KeywordId> sorted =
+        CanonicalizeQueryKeywords(keywords, options_.k);
+    const RankBox rq = rank_.ToRankBox(q);
+    QueryRankEmit(rq, sorted, emit, stats, budget);
+  }
+
+  /// Query already expressed in rank space (used by the RR-KW reduction and
+  /// by tests exercising Section 3.4 directly). `sorted_keywords` must be
+  /// sorted and distinct.
+  template <typename Emit>
+  void QueryRankEmit(const RankBox& rq,
+                     std::span<const KeywordId> sorted_keywords, Emit&& emit,
+                     QueryStats* stats = nullptr,
+                     OpsBudget* budget = nullptr) const {
+    if (nodes_.empty() || !rq.Valid()) return;
+    OpsBudget unlimited;
+    if (budget == nullptr) budget = &unlimited;
+    Visit(0, rq, sorted_keywords, emit, stats, budget);
+  }
+
+  /// "Does q ∩ D(w1,...,wk) have at least t objects?" — the budgeted
+  /// detection primitive of Corollary 4's proof: run a reporting query; if it
+  /// exceeds its worst-case budget for output size t, the answer must be yes.
+  bool ContainsAtLeast(const BoxType& q, std::span<const KeywordId> keywords,
+                       uint64_t t, QueryStats* stats = nullptr) const {
+    KWSC_CHECK(t >= 1);
+    OpsBudget budget(ThresholdQueryBudget(total_weight(), options_.k, t));
+    uint64_t found = 0;
+    QueryEmit(q, keywords,
+              [&found, t](ObjectId) { return ++found < t; }, stats, &budget);
+    return found >= t || budget.Exhausted();
+  }
+
+  /// Emptiness query in O(N^{1-1/k}) expected work: run a reporting query
+  /// under the OUT = 0 budget; exhausting it certifies non-emptiness
+  /// (footnote 4 of the paper).
+  bool Empty(const BoxType& q, std::span<const KeywordId> keywords,
+             QueryStats* stats = nullptr) const {
+    OpsBudget budget(ThresholdQueryBudget(total_weight(), options_.k, 1));
+    bool witness = false;
+    QueryEmit(q, keywords,
+              [&witness](ObjectId) {
+                witness = true;
+                return false;
+              },
+              stats, &budget);
+    return !witness && !budget.Exhausted();
+  }
+
+  /// |q ∩ D(w1,...,wk)| by full enumeration (counting cannot do better than
+  /// reporting in this framework; the paper never claims otherwise).
+  uint64_t Count(const BoxType& q, std::span<const KeywordId> keywords,
+                 QueryStats* stats = nullptr) const {
+    uint64_t count = 0;
+    QueryEmit(q, keywords, [&count](ObjectId) {
+      ++count;
+      return true;
+    }, stats);
+    return count;
+  }
+
+  /// Converts an original-space box to rank space (exposed for reductions).
+  RankBox ToRankBox(const BoxType& q) const { return rank_.ToRankBox(q); }
+
+  /// Rank-space image of an object's point.
+  const Point<D, int64_t>& RankPointOf(ObjectId e) const {
+    return rank_points_[e];
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = rank_.MemoryBytes() + VectorBytes(rank_points_) +
+                   nodes_.capacity() * sizeof(Node);
+    for (const Node& node : nodes_) total += node.dir.MemoryBytes();
+    return total;
+  }
+
+  /// Maximum node level (root = 0); the analysis expects O(log N).
+  int Depth() const {
+    int depth = 0;
+    for (const Node& node : nodes_) depth = std::max(depth, int{node.level});
+    return depth;
+  }
+
+  /// Persists the full index (construction is expensive; reloading is a
+  /// sequential read). The corpus is saved separately (Corpus::Save) and
+  /// supplied again on Load; a fingerprint guards against mismatches.
+  void Save(std::ostream* out) const {
+    OutputArchive ar(out);
+    ar.Magic("KWO1", /*version=*/1);
+    ar.Pod<uint32_t>(static_cast<uint32_t>(D));
+    ar.Pod(options_);
+    ar.Pod<uint64_t>(corpus_->num_objects());
+    ar.Pod<uint64_t>(corpus_->total_weight());
+    rank_.Save(&ar);
+    ar.Vec(rank_points_);
+    ar.Pod<uint64_t>(nodes_.size());
+    for (const Node& node : nodes_) {
+      ar.Pod(node.cell);
+      ar.Pod(node.child[0]);
+      ar.Pod(node.child[1]);
+      ar.Pod(node.level);
+      node.dir.Save(&ar);
+    }
+  }
+
+  /// Rebuilds an index previously written by Save. `corpus` must be the
+  /// same corpus (same objects in the same order) the index was built over.
+  static OrpKwIndex Load(std::istream* in, const Corpus* corpus) {
+    KWSC_CHECK(corpus != nullptr);
+    InputArchive ar(in);
+    const uint32_t version = ar.Magic("KWO1");
+    KWSC_CHECK_MSG(version == 1, "unsupported index version %u", version);
+    KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
+                   "index dimensionality mismatch");
+    OrpKwIndex index(corpus);
+    index.options_ = ar.Pod<FrameworkOptions>();
+    KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->num_objects(),
+                   "corpus object count mismatch");
+    KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->total_weight(),
+                   "corpus weight mismatch");
+    index.rank_.Load(&ar);
+    index.rank_points_ = ar.Vec<Point<D, int64_t>>();
+    const uint64_t num_nodes = ar.Pod<uint64_t>();
+    index.nodes_.resize(num_nodes);
+    for (Node& node : index.nodes_) {
+      node.cell = ar.Pod<RankBox>();
+      node.child[0] = ar.Pod<int32_t>();
+      node.child[1] = ar.Pod<int32_t>();
+      node.level = ar.Pod<int16_t>();
+      node.dir.Load(&ar);
+    }
+    return index;
+  }
+
+ private:
+  // Shell constructor used by Load.
+  explicit OrpKwIndex(const Corpus* corpus) : corpus_(corpus) {}
+
+  struct Node {
+    RankBox cell;
+    NodeDirectory dir;
+    int32_t child[2] = {-1, -1};
+    int16_t level = 0;
+    bool IsLeaf() const { return child[0] < 0 && child[1] < 0; }
+  };
+
+  uint32_t BuildNode(std::vector<ObjectId>* active, const RankBox& cell,
+                     int level, const std::vector<KeywordId>* inherited,
+                     DirectoryBuilder* builder) {
+    const uint32_t index = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[index].cell = cell;
+    nodes_[index].level = static_cast<int16_t>(level);
+
+    if (active->size() <= static_cast<size_t>(options_.leaf_objects)) {
+      builder->BuildLeaf(*active, &nodes_[index].dir);
+      return index;
+    }
+
+    // Weight-balanced split on the level's dimension: sort the active set by
+    // rank coordinate and cut at the object where the prefix weight reaches
+    // half. That object is the pivot — it sits on the split line, i.e. the
+    // boundary of both child cells (Section 3.2's push-down rule).
+    const int dim = level % D;
+    std::sort(active->begin(), active->end(), [&](ObjectId a, ObjectId b) {
+      return rank_points_[a][dim] < rank_points_[b][dim];
+    });
+    uint64_t total = 0;
+    for (ObjectId e : *active) total += corpus_->doc(e).size();
+    uint64_t prefix = 0;
+    size_t median = 0;
+    for (size_t i = 0; i < active->size(); ++i) {
+      prefix += corpus_->doc((*active)[i]).size();
+      if (2 * prefix >= total) {
+        median = i;
+        break;
+      }
+    }
+    const ObjectId pivot = (*active)[median];
+    const int64_t split = rank_points_[pivot][dim];
+
+    std::vector<std::vector<ObjectId>> child_active(2);
+    child_active[0].assign(active->begin(), active->begin() + median);
+    child_active[1].assign(active->begin() + median + 1, active->end());
+
+    std::vector<KeywordId> next_inherited;
+    builder->Build(*active, child_active, inherited, {pivot},
+                   &nodes_[index].dir, &next_inherited);
+    // The active list is no longer needed below this point; free it before
+    // recursing so peak memory stays O(N) along a root-to-leaf path.
+    active->clear();
+    active->shrink_to_fit();
+
+    RankBox left_cell = cell;
+    left_cell.hi[dim] = split - 1;
+    RankBox right_cell = cell;
+    right_cell.lo[dim] = split + 1;
+
+    int32_t left = -1;
+    int32_t right = -1;
+    if (!child_active[0].empty()) {
+      left = static_cast<int32_t>(BuildNode(&child_active[0], left_cell,
+                                            level + 1, &next_inherited,
+                                            builder));
+    }
+    if (!child_active[1].empty()) {
+      right = static_cast<int32_t>(BuildNode(&child_active[1], right_cell,
+                                             level + 1, &next_inherited,
+                                             builder));
+    }
+    nodes_[index].child[0] = left;
+    nodes_[index].child[1] = right;
+    return index;
+  }
+
+  template <typename Emit>
+  bool Visit(uint32_t node_index, const RankBox& rq,
+             std::span<const KeywordId> kws, Emit& emit, QueryStats* stats,
+             OpsBudget* budget) const {
+    const Node& node = nodes_[node_index];
+    const bool covered = node.cell.InsideOf(rq);
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      covered ? ++stats->covered_nodes : ++stats->crossing_nodes;
+    }
+    if (!budget->Charge()) return Exhaust(stats);
+
+    // Examine the pivot set.
+    for (ObjectId e : node.dir.pivots()) {
+      if (!budget->Charge()) return Exhaust(stats);
+      if (stats != nullptr) {
+        ++stats->pivot_checks;
+        covered ? ++stats->covered_work : ++stats->crossing_work;
+      }
+      if (rq.Contains(rank_points_[e]) && corpus_->ContainsAll(e, kws)) {
+        if (stats != nullptr) ++stats->results;
+        if (!emit(e)) return false;
+      }
+    }
+    if (node.IsLeaf()) return true;
+
+    uint32_t lids[8];
+    KeywordId small_keyword = 0;
+    if (!node.dir.ResolveLarge(kws, lids, &small_keyword)) {
+      // Some query keyword is small at this node: its materialized list
+      // bounds the remaining work by N_u^{1-1/k} (Section 3.3).
+      if (options_.enable_materialized_lists) {
+        const std::vector<ObjectId>* list =
+            node.dir.MaterializedList(small_keyword);
+        if (list == nullptr) return true;  // Keyword absent below this node.
+        for (ObjectId e : *list) {
+          if (!budget->Charge()) return Exhaust(stats);
+          if (stats != nullptr) {
+            ++stats->list_scanned;
+            covered ? ++stats->covered_work : ++stats->crossing_work;
+          }
+          if (rq.Contains(rank_points_[e]) && corpus_->ContainsAll(e, kws)) {
+            if (stats != nullptr) ++stats->results;
+            if (!emit(e)) return false;
+          }
+        }
+        return true;
+      }
+      // Ablation mode (A2): no materialized lists — fall back to scanning
+      // the whole subtree, pruning by geometry only.
+      return ScanSubtree(node_index, rq, kws, emit, stats, budget);
+    }
+
+    for (int c = 0; c < 2; ++c) {
+      const int32_t child = node.child[c];
+      if (child < 0) continue;
+      if (options_.enable_tuple_pruning &&
+          !node.dir.ChildTupleNonEmpty(c, {lids, kws.size()})) {
+        if (stats != nullptr) ++stats->tuple_pruned;
+        continue;
+      }
+      if (!nodes_[child].cell.Intersects(rq)) {
+        if (stats != nullptr) ++stats->geom_pruned;
+        continue;
+      }
+      if (!Visit(child, rq, kws, emit, stats, budget)) return false;
+    }
+    return true;
+  }
+
+  template <typename Emit>
+  bool ScanSubtree(uint32_t node_index, const RankBox& rq,
+                   std::span<const KeywordId> kws, Emit& emit,
+                   QueryStats* stats, OpsBudget* budget) const {
+    const Node& node = nodes_[node_index];
+    for (int c = 0; c < 2; ++c) {
+      const int32_t child = node.child[c];
+      if (child < 0) continue;
+      if (!nodes_[child].cell.Intersects(rq)) continue;
+      const Node& child_node = nodes_[child];
+      for (ObjectId e : child_node.dir.pivots()) {
+        if (!budget->Charge()) return Exhaust(stats);
+        if (stats != nullptr) ++stats->list_scanned;
+        if (rq.Contains(rank_points_[e]) && corpus_->ContainsAll(e, kws)) {
+          if (stats != nullptr) ++stats->results;
+          if (!emit(e)) return false;
+        }
+      }
+      if (!ScanSubtree(child, rq, kws, emit, stats, budget)) return false;
+    }
+    return true;
+  }
+
+  static bool Exhaust(QueryStats* stats) {
+    if (stats != nullptr) stats->budget_exhausted = true;
+    return false;
+  }
+
+  const Corpus* corpus_;
+  FrameworkOptions options_;
+  RankSpace<D, Scalar> rank_;
+  std::vector<Point<D, int64_t>> rank_points_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_ORP_KW_H_

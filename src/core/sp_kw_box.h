@@ -1,0 +1,363 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// SP-KW / LC-KW over the box-cell substrate (Appendix D, arbitrary d).
+//
+// This index applies the transformation framework to a space-partitioning
+// tree whose cells are axis boxes in the *original* coordinate space (linear
+// constraints do not survive the per-dimension rank reduction of Section
+// 3.4, so rank space is unavailable here). Splits are weighted medians under
+// the lexicographic (coordinate, id) order — the deterministic stand-in for
+// the infinitesimal perturbation of Appendix D.4: the median object becomes
+// the node's pivot (it lies on the splitting hyperplane), and ties share the
+// boundary plane, so sibling cells may touch on a measure-zero slab.
+//
+// Queries are conjunctions of halfspaces (a d-simplex is d+1 of them; an
+// LC-KW query supplies s of them directly, skipping the paper's
+// simplex-decomposition step without changing the answer). Cells are pruned
+// by exact corner tests against each halfspace.
+
+#ifndef KWSC_CORE_SP_KW_BOX_H_
+#define KWSC_CORE_SP_KW_BOX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory.h"
+#include "common/ops_budget.h"
+#include "core/framework.h"
+#include "core/node_directory.h"
+#include "geom/box.h"
+#include "geom/halfspace.h"
+#include "geom/lp.h"
+#include "geom/point.h"
+#include "text/corpus.h"
+
+namespace kwsc {
+
+template <int D, typename Scalar = double>
+class SpKwBoxIndex {
+ public:
+  using PointType = Point<D, Scalar>;
+  using QueryType = ConvexQuery<D, Scalar>;
+
+  SpKwBoxIndex(std::span<const PointType> points, const Corpus* corpus,
+               FrameworkOptions options)
+      : corpus_(corpus), options_(options),
+        points_(points.begin(), points.end()) {
+    KWSC_CHECK(corpus != nullptr);
+    KWSC_CHECK(points.size() == corpus->num_objects());
+    KWSC_CHECK(options_.k >= 2 && options_.k <= 8);
+    if (!points_.empty()) {
+      std::vector<ObjectId> active(points_.size());
+      std::iota(active.begin(), active.end(), 0);
+      DirectoryBuilder builder(corpus_, options_);
+      BuildNode(&active, Box<D, Scalar>::Everything(), 0, nullptr, &builder);
+    }
+  }
+
+  int k() const { return options_.k; }
+  size_t num_nodes() const { return nodes_.size(); }
+  uint64_t total_weight() const { return corpus_->total_weight(); }
+
+  std::vector<ObjectId> Query(const QueryType& q,
+                              std::span<const KeywordId> keywords,
+                              QueryStats* stats = nullptr,
+                              OpsBudget* budget = nullptr) const {
+    std::vector<ObjectId> out;
+    QueryEmit(q, keywords,
+              [&out](ObjectId e) {
+                out.push_back(e);
+                return true;
+              },
+              stats, budget);
+    return out;
+  }
+
+  template <typename Emit>
+  void QueryEmit(const QueryType& q, std::span<const KeywordId> keywords,
+                 Emit&& emit, QueryStats* stats = nullptr,
+                 OpsBudget* budget = nullptr) const {
+    const std::vector<KeywordId> sorted =
+        CanonicalizeQueryKeywords(keywords, options_.k);
+    if (nodes_.empty()) return;
+    OpsBudget unlimited;
+    if (budget == nullptr) budget = &unlimited;
+    Visit(0, q, sorted, emit, stats, budget);
+  }
+
+  /// Budgeted "at least t results?" detection (used by the L2NN-KW binary
+  /// search of Corollary 7). The budget follows the d > k - 1 regime of
+  /// Corollary 6: C * (N^{1-1/(d+1)} + N^{1-1/k} t^{1/k}).
+  bool ContainsAtLeast(const QueryType& q,
+                       std::span<const KeywordId> keywords, uint64_t t,
+                       QueryStats* stats = nullptr) const {
+    KWSC_CHECK(t >= 1);
+    const double n = static_cast<double>(total_weight());
+    const double fixed =
+        std::pow(n, 1.0 - 1.0 / static_cast<double>(D + 1));
+    OpsBudget budget(
+        ThresholdQueryBudget(total_weight(), options_.k, t) +
+        static_cast<uint64_t>(64.0 * fixed));
+    uint64_t found = 0;
+    QueryEmit(q, keywords,
+              [&found, t](ObjectId) { return ++found < t; }, stats, &budget);
+    return found >= t || budget.Exhausted();
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = VectorBytes(points_) + nodes_.capacity() * sizeof(Node);
+    for (const Node& node : nodes_) total += node.dir.MemoryBytes();
+    return total;
+  }
+
+  /// Persistence: same contract as OrpKwIndex::Save/Load — the corpus is
+  /// stored separately and must be re-supplied on Load.
+  void Save(std::ostream* out) const {
+    OutputArchive ar(out);
+    ar.Magic("KWS1", /*version=*/1);
+    ar.Pod<uint32_t>(static_cast<uint32_t>(D));
+    ar.Pod(options_);
+    ar.Pod<uint64_t>(corpus_->num_objects());
+    ar.Pod<uint64_t>(corpus_->total_weight());
+    ar.Vec(points_);
+    ar.Pod<uint64_t>(nodes_.size());
+    for (const Node& node : nodes_) {
+      ar.Pod(node.cell);
+      ar.Pod(node.child[0]);
+      ar.Pod(node.child[1]);
+      ar.Pod(node.level);
+      node.dir.Save(&ar);
+    }
+  }
+
+  static SpKwBoxIndex Load(std::istream* in, const Corpus* corpus) {
+    KWSC_CHECK(corpus != nullptr);
+    InputArchive ar(in);
+    const uint32_t version = ar.Magic("KWS1");
+    KWSC_CHECK_MSG(version == 1, "unsupported index version %u", version);
+    KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
+                   "index dimensionality mismatch");
+    SpKwBoxIndex index(corpus);
+    index.options_ = ar.Pod<FrameworkOptions>();
+    KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->num_objects(),
+                   "corpus object count mismatch");
+    KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->total_weight(),
+                   "corpus weight mismatch");
+    index.points_ = ar.Vec<PointType>();
+    const uint64_t num_nodes = ar.Pod<uint64_t>();
+    index.nodes_.resize(num_nodes);
+    for (Node& node : index.nodes_) {
+      node.cell = ar.Pod<Box<D, Scalar>>();
+      node.child[0] = ar.Pod<int32_t>();
+      node.child[1] = ar.Pod<int32_t>();
+      node.level = ar.Pod<int16_t>();
+      node.dir.Load(&ar);
+    }
+    return index;
+  }
+
+ private:
+  // Shell constructor used by Load.
+  explicit SpKwBoxIndex(const Corpus* corpus) : corpus_(corpus) {}
+
+  struct Node {
+    Box<D, Scalar> cell;
+    NodeDirectory dir;
+    int32_t child[2] = {-1, -1};
+    int16_t level = 0;
+    bool IsLeaf() const { return child[0] < 0 && child[1] < 0; }
+  };
+
+  uint32_t BuildNode(std::vector<ObjectId>* active, const Box<D, Scalar>& cell,
+                     int level, const std::vector<KeywordId>* inherited,
+                     DirectoryBuilder* builder) {
+    const uint32_t index = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[index].cell = cell;
+    nodes_[index].level = static_cast<int16_t>(level);
+
+    if (active->size() <= static_cast<size_t>(options_.leaf_objects)) {
+      builder->BuildLeaf(*active, &nodes_[index].dir);
+      return index;
+    }
+
+    const int dim = level % D;
+    std::sort(active->begin(), active->end(), [&](ObjectId a, ObjectId b) {
+      if (points_[a][dim] != points_[b][dim]) {
+        return points_[a][dim] < points_[b][dim];
+      }
+      return a < b;  // Deterministic perturbation (Appendix D.4).
+    });
+    uint64_t total = 0;
+    for (ObjectId e : *active) total += corpus_->doc(e).size();
+    uint64_t prefix = 0;
+    size_t median = 0;
+    for (size_t i = 0; i < active->size(); ++i) {
+      prefix += corpus_->doc((*active)[i]).size();
+      if (2 * prefix >= total) {
+        median = i;
+        break;
+      }
+    }
+    const ObjectId pivot = (*active)[median];
+    const Scalar split = points_[pivot][dim];
+
+    std::vector<std::vector<ObjectId>> child_active(2);
+    child_active[0].assign(active->begin(), active->begin() + median);
+    child_active[1].assign(active->begin() + median + 1, active->end());
+
+    std::vector<KeywordId> next_inherited;
+    builder->Build(*active, child_active, inherited, {pivot},
+                   &nodes_[index].dir, &next_inherited);
+    active->clear();
+    active->shrink_to_fit();
+
+    // Cells touch on the splitting plane: ties share the coordinate, so both
+    // children must keep it. Pruning stays exact; only the covered/crossing
+    // statistics see the overlap.
+    Box<D, Scalar> left_cell = cell;
+    left_cell.hi[dim] = split;
+    Box<D, Scalar> right_cell = cell;
+    right_cell.lo[dim] = split;
+
+    int32_t left = -1;
+    int32_t right = -1;
+    if (!child_active[0].empty()) {
+      left = static_cast<int32_t>(BuildNode(&child_active[0], left_cell,
+                                            level + 1, &next_inherited,
+                                            builder));
+    }
+    if (!child_active[1].empty()) {
+      right = static_cast<int32_t>(BuildNode(&child_active[1], right_cell,
+                                             level + 1, &next_inherited,
+                                             builder));
+    }
+    nodes_[index].child[0] = left;
+    nodes_[index].child[1] = right;
+    return index;
+  }
+
+  /// Cell/query relationship: 0 = disjoint, 1 = intersecting (crossing),
+  /// 2 = cell fully inside the query region. With exact_cell_tests, the
+  /// "crossing" verdict is confirmed by an LP feasibility check so that
+  /// cells meeting every constraint individually but not their conjunction
+  /// are pruned too.
+  int Classify(const Box<D, Scalar>& cell, const QueryType& q) const {
+    bool inside = true;
+    for (const auto& h : q.constraints) {
+      if (!cell.IntersectsHalfspace(h)) return 0;
+      if (!cell.InsideHalfspace(h)) inside = false;
+    }
+    if (inside) return 2;
+    if (options_.exact_cell_tests && q.constraints.size() > 1 &&
+        !PolytopeIntersectsBox(q, cell)) {
+      return 0;
+    }
+    return 1;
+  }
+
+  template <typename Emit>
+  bool Visit(uint32_t node_index, const QueryType& q,
+             std::span<const KeywordId> kws, Emit& emit, QueryStats* stats,
+             OpsBudget* budget) const {
+    const Node& node = nodes_[node_index];
+    const bool covered = Classify(node.cell, q) == 2;
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      covered ? ++stats->covered_nodes : ++stats->crossing_nodes;
+    }
+    if (!budget->Charge()) return Exhaust(stats);
+
+    for (ObjectId e : node.dir.pivots()) {
+      if (!budget->Charge()) return Exhaust(stats);
+      if (stats != nullptr) {
+        ++stats->pivot_checks;
+        covered ? ++stats->covered_work : ++stats->crossing_work;
+      }
+      if (q.Satisfies(points_[e]) && corpus_->ContainsAll(e, kws)) {
+        if (stats != nullptr) ++stats->results;
+        if (!emit(e)) return false;
+      }
+    }
+    if (node.IsLeaf()) return true;
+
+    uint32_t lids[8];
+    KeywordId small_keyword = 0;
+    if (!node.dir.ResolveLarge(kws, lids, &small_keyword)) {
+      if (options_.enable_materialized_lists) {
+        const std::vector<ObjectId>* list =
+            node.dir.MaterializedList(small_keyword);
+        if (list == nullptr) return true;
+        for (ObjectId e : *list) {
+          if (!budget->Charge()) return Exhaust(stats);
+          if (stats != nullptr) {
+            ++stats->list_scanned;
+            covered ? ++stats->covered_work : ++stats->crossing_work;
+          }
+          if (q.Satisfies(points_[e]) && corpus_->ContainsAll(e, kws)) {
+            if (stats != nullptr) ++stats->results;
+            if (!emit(e)) return false;
+          }
+        }
+        return true;
+      }
+      return ScanSubtree(node_index, q, kws, emit, stats, budget);
+    }
+
+    for (int c = 0; c < 2; ++c) {
+      const int32_t child = node.child[c];
+      if (child < 0) continue;
+      if (options_.enable_tuple_pruning &&
+          !node.dir.ChildTupleNonEmpty(c, {lids, kws.size()})) {
+        if (stats != nullptr) ++stats->tuple_pruned;
+        continue;
+      }
+      if (Classify(nodes_[child].cell, q) == 0) {
+        if (stats != nullptr) ++stats->geom_pruned;
+        continue;
+      }
+      if (!Visit(child, q, kws, emit, stats, budget)) return false;
+    }
+    return true;
+  }
+
+  template <typename Emit>
+  bool ScanSubtree(uint32_t node_index, const QueryType& q,
+                   std::span<const KeywordId> kws, Emit& emit,
+                   QueryStats* stats, OpsBudget* budget) const {
+    const Node& node = nodes_[node_index];
+    for (int c = 0; c < 2; ++c) {
+      const int32_t child = node.child[c];
+      if (child < 0) continue;
+      if (Classify(nodes_[child].cell, q) == 0) continue;
+      for (ObjectId e : nodes_[child].dir.pivots()) {
+        if (!budget->Charge()) return Exhaust(stats);
+        if (stats != nullptr) ++stats->list_scanned;
+        if (q.Satisfies(points_[e]) && corpus_->ContainsAll(e, kws)) {
+          if (stats != nullptr) ++stats->results;
+          if (!emit(e)) return false;
+        }
+      }
+      if (!ScanSubtree(child, q, kws, emit, stats, budget)) return false;
+    }
+    return true;
+  }
+
+  static bool Exhaust(QueryStats* stats) {
+    if (stats != nullptr) stats->budget_exhausted = true;
+    return false;
+  }
+
+  const Corpus* corpus_;
+  FrameworkOptions options_;
+  std::vector<PointType> points_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_SP_KW_BOX_H_

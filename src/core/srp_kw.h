@@ -1,0 +1,77 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// SRP-KW: spherical range reporting with keywords (Corollary 6).
+//
+// Each data point p in R^d lifts to (p, ||p||^2) in R^{d+1} (geom/lifting.h);
+// the query ball B(c, r) becomes a single halfspace there, so the problem is
+// LC-KW with one constraint in d+1 dimensions, answered by the box-cell
+// partition substrate. This is the "boolean range query with keywords" of
+// the spatial-keyword literature [22]: find all objects within a given
+// radius of a location whose documents contain all k keywords.
+
+#ifndef KWSC_CORE_SRP_KW_H_
+#define KWSC_CORE_SRP_KW_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/sp_kw_box.h"
+#include "geom/lifting.h"
+#include "geom/point.h"
+#include "text/corpus.h"
+
+namespace kwsc {
+
+template <int D, typename Scalar = double>
+class SrpKwIndex {
+ public:
+  using PointType = Point<D, Scalar>;
+  using Engine = SpKwBoxIndex<D + 1, double>;
+
+  SrpKwIndex(std::span<const PointType> points, const Corpus* corpus,
+             FrameworkOptions options) {
+    std::vector<Point<D + 1, double>> lifted(points.size());
+    for (size_t i = 0; i < points.size(); ++i) lifted[i] = LiftPoint(points[i]);
+    engine_.emplace(std::span<const Point<D + 1, double>>(lifted), corpus,
+                    options);
+  }
+
+  int k() const { return engine_->k(); }
+
+  /// Reports every object within squared distance `radius_sq` of `center`
+  /// (closed ball) whose document holds all k keywords.
+  std::vector<ObjectId> Query(const PointType& center, double radius_sq,
+                              std::span<const KeywordId> keywords,
+                              QueryStats* stats = nullptr,
+                              OpsBudget* budget = nullptr) const {
+    return engine_->Query(MakeQuery(center, radius_sq), keywords, stats,
+                          budget);
+  }
+
+  /// Budgeted "at least t in the ball?" detection, the primitive Corollary 7
+  /// binary-searches over.
+  bool ContainsAtLeast(const PointType& center, double radius_sq,
+                       std::span<const KeywordId> keywords, uint64_t t,
+                       QueryStats* stats = nullptr) const {
+    return engine_->ContainsAtLeast(MakeQuery(center, radius_sq), keywords, t,
+                                    stats);
+  }
+
+  size_t MemoryBytes() const { return engine_->MemoryBytes(); }
+
+ private:
+  ConvexQuery<D + 1, double> MakeQuery(const PointType& center,
+                                       double radius_sq) const {
+    ConvexQuery<D + 1, double> q;
+    q.constraints.push_back(BallToLiftedHalfspace(center, radius_sq));
+    return q;
+  }
+
+  std::optional<Engine> engine_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_SRP_KW_H_

@@ -1,0 +1,93 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Axis-parallel d-rectangles (the paper's footnote 1), used both as query
+// ranges (ORP-KW, RR-KW) and as kd-tree cells.
+
+#ifndef KWSC_GEOM_BOX_H_
+#define KWSC_GEOM_BOX_H_
+
+#include <limits>
+
+#include "geom/halfspace.h"
+#include "geom/point.h"
+
+namespace kwsc {
+
+/// Closed axis-parallel box [lo[0], hi[0]] x ... x [lo[D-1], hi[D-1]].
+template <int D, typename Scalar = double>
+struct Box {
+  using PointType = Point<D, Scalar>;
+
+  PointType lo;
+  PointType hi;
+
+  /// The whole space: every coordinate range is [-inf, +inf] (or the full
+  /// integer range for integral scalars).
+  static Box Everything() {
+    Box b;
+    for (int i = 0; i < D; ++i) {
+      b.lo[i] = std::numeric_limits<Scalar>::lowest();
+      b.hi[i] = std::numeric_limits<Scalar>::max();
+    }
+    return b;
+  }
+
+  /// True iff the box is non-degenerate in every dimension (lo <= hi).
+  bool Valid() const {
+    for (int i = 0; i < D; ++i) {
+      if (lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const PointType& p) const {
+    for (int i = 0; i < D; ++i) {
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the closed boxes share at least one point.
+  bool Intersects(const Box& other) const {
+    for (int i = 0; i < D; ++i) {
+      if (other.hi[i] < lo[i] || other.lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff this box lies entirely inside `other` (covered-node test).
+  bool InsideOf(const Box& other) const {
+    for (int i = 0; i < D; ++i) {
+      if (lo[i] < other.lo[i] || hi[i] > other.hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff any point of the box satisfies the halfspace. The minimizing
+  /// corner of the linear functional decides.
+  bool IntersectsHalfspace(const Halfspace<D, Scalar>& h) const {
+    double value = 0;
+    for (int i = 0; i < D; ++i) {
+      value += h.coeffs[i] * static_cast<double>(h.coeffs[i] >= 0 ? lo[i] : hi[i]);
+    }
+    return value <= static_cast<double>(h.rhs);
+  }
+
+  /// True iff every point of the box satisfies the halfspace (maximizing
+  /// corner decides).
+  bool InsideHalfspace(const Halfspace<D, Scalar>& h) const {
+    double value = 0;
+    for (int i = 0; i < D; ++i) {
+      value += h.coeffs[i] * static_cast<double>(h.coeffs[i] >= 0 ? hi[i] : lo[i]);
+    }
+    return value <= static_cast<double>(h.rhs);
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_GEOM_BOX_H_

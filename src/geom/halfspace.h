@@ -1,0 +1,51 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Linear constraints (halfspaces).
+//
+// An LC-KW query supplies s = O(1) constraints of the form
+//   c_1 x[1] + ... + c_d x[d] <= c_{d+1}
+// (Section 1.1). A conjunction of halfspaces is a convex polytope query; the
+// paper decomposes it into simplices before querying the partition tree, but
+// the substrates in this library test cells against the halfspace conjunction
+// directly, which answers the same query without the decomposition step.
+
+#ifndef KWSC_GEOM_HALFSPACE_H_
+#define KWSC_GEOM_HALFSPACE_H_
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace kwsc {
+
+/// The constraint sum_i coeffs[i] * x[i] <= rhs.
+template <int D, typename Scalar = double>
+struct Halfspace {
+  std::array<double, D> coeffs{};
+  double rhs = 0;
+
+  double Eval(const Point<D, Scalar>& p) const {
+    double v = 0;
+    for (int i = 0; i < D; ++i) v += coeffs[i] * static_cast<double>(p[i]);
+    return v;
+  }
+
+  bool Satisfies(const Point<D, Scalar>& p) const { return Eval(p) <= rhs; }
+};
+
+/// A conjunction of halfspaces — the structured predicate of an LC-KW query.
+template <int D, typename Scalar = double>
+struct ConvexQuery {
+  std::vector<Halfspace<D, Scalar>> constraints;
+
+  bool Satisfies(const Point<D, Scalar>& p) const {
+    for (const auto& h : constraints) {
+      if (!h.Satisfies(p)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_GEOM_HALFSPACE_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// The lifting map (proof of Corollary 6; Aurenhammer [8]).
+//
+// A point p in R^d lifts to p' = (p, ||p||^2) in R^{d+1}. A ball
+// B(c, r) = { x : ||x - c||^2 <= r^2 } maps to the halfspace
+//   ||x||^2 - 2 c.x <= r^2 - ||c||^2,
+// i.e. in lifted coordinates (x, z):  -2 c.x + z <= r^2 - ||c||^2.
+// Spherical range reporting with keywords therefore reduces to LC-KW with a
+// single linear constraint in d+1 dimensions.
+
+#ifndef KWSC_GEOM_LIFTING_H_
+#define KWSC_GEOM_LIFTING_H_
+
+#include "geom/halfspace.h"
+#include "geom/point.h"
+
+namespace kwsc {
+
+/// Lifts p to (p, ||p||^2).
+template <int D, typename Scalar>
+Point<D + 1, double> LiftPoint(const Point<D, Scalar>& p) {
+  Point<D + 1, double> lifted;
+  double norm_sq = 0;
+  for (int i = 0; i < D; ++i) {
+    const double c = static_cast<double>(p[i]);
+    lifted[i] = c;
+    norm_sq += c * c;
+  }
+  lifted[D] = norm_sq;
+  return lifted;
+}
+
+/// The halfspace in R^{d+1} whose intersection with the lifted paraboloid is
+/// exactly the ball of squared radius `radius_sq` around `center`.
+template <int D, typename Scalar>
+Halfspace<D + 1> BallToLiftedHalfspace(const Point<D, Scalar>& center,
+                                       double radius_sq) {
+  Halfspace<D + 1> h;
+  double center_norm_sq = 0;
+  for (int i = 0; i < D; ++i) {
+    const double c = static_cast<double>(center[i]);
+    h.coeffs[i] = -2.0 * c;
+    center_norm_sq += c * c;
+  }
+  h.coeffs[D] = 1.0;
+  h.rhs = radius_sq - center_norm_sq;
+  return h;
+}
+
+}  // namespace kwsc
+
+#endif  // KWSC_GEOM_LIFTING_H_

@@ -1,0 +1,173 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "geom/lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+// Box bounds are clamped to this magnitude so "whole space" cells stay
+// solvable; callers' data coordinates are assumed well inside it.
+constexpr double kBigBound = 1e12;
+
+double Tolerance(double b) { return kEps * (1.0 + std::fabs(b)); }
+
+struct Problem {
+  int dim;
+  std::vector<LpConstraint> cons;
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<double> c;  // Objective (minimized); any vector works for
+                          // feasibility, graded entries reduce ties.
+};
+
+std::optional<std::vector<double>> Solve(const Problem& p);
+
+std::optional<std::vector<double>> SolveBase(const Problem& p) {
+  double lo = p.lo[0];
+  double hi = p.hi[0];
+  for (const LpConstraint& con : p.cons) {
+    const double a = con.a[0];
+    if (a > kEps) {
+      hi = std::min(hi, con.b / a);
+    } else if (a < -kEps) {
+      lo = std::max(lo, con.b / a);
+    } else if (con.b < -Tolerance(con.b)) {
+      return std::nullopt;  // 0 <= b with b < 0: contradiction.
+    }
+  }
+  if (lo > hi + kEps * (1.0 + std::fabs(lo) + std::fabs(hi))) {
+    return std::nullopt;
+  }
+  hi = std::max(hi, lo);  // Collapse tolerance slack.
+  return std::vector<double>{p.c[0] >= 0 ? lo : hi};
+}
+
+std::optional<std::vector<double>> Solve(const Problem& p) {
+  if (p.dim == 1) return SolveBase(p);
+
+  // Start at the box corner minimizing the objective.
+  std::vector<double> x(p.dim);
+  for (int j = 0; j < p.dim; ++j) x[j] = p.c[j] >= 0 ? p.lo[j] : p.hi[j];
+
+  for (size_t i = 0; i < p.cons.size(); ++i) {
+    const LpConstraint& con = p.cons[i];
+    double value = 0;
+    for (int j = 0; j < p.dim; ++j) value += con.a[j] * x[j];
+    if (value <= con.b + Tolerance(con.b)) continue;  // Still optimal.
+
+    // The optimum of the first i+1 constraints lies on this boundary.
+    // Eliminate the variable with the largest coefficient.
+    int k = 0;
+    for (int j = 1; j < p.dim; ++j) {
+      if (std::fabs(con.a[j]) > std::fabs(con.a[k])) k = j;
+    }
+    const double ak = con.a[k];
+    if (std::fabs(ak) <= kEps) {
+      // 0 <= b - value ... a vanishing constraint that is violated.
+      return std::nullopt;
+    }
+
+    Problem sub;
+    sub.dim = p.dim - 1;
+    auto drop = [&](const std::vector<double>& v) {
+      std::vector<double> out;
+      out.reserve(p.dim - 1);
+      for (int j = 0; j < p.dim; ++j) {
+        if (j != k) out.push_back(v[j]);
+      }
+      return out;
+    };
+    sub.lo = drop(p.lo);
+    sub.hi = drop(p.hi);
+    // Substituted objective: c_m - c_k a_m / a_k.
+    sub.c.resize(p.dim - 1);
+    {
+      int idx = 0;
+      for (int j = 0; j < p.dim; ++j) {
+        if (j == k) continue;
+        sub.c[idx++] = p.c[j] - p.c[k] * con.a[j] / ak;
+      }
+    }
+    // Prior constraints with x_k substituted out.
+    for (size_t m = 0; m < i; ++m) {
+      const LpConstraint& prior = p.cons[m];
+      LpConstraint reduced;
+      reduced.a.resize(p.dim - 1);
+      int idx = 0;
+      for (int j = 0; j < p.dim; ++j) {
+        if (j == k) continue;
+        reduced.a[idx++] = prior.a[j] - prior.a[k] * con.a[j] / ak;
+      }
+      reduced.b = prior.b - prior.a[k] * con.b / ak;
+      sub.cons.push_back(std::move(reduced));
+    }
+    // The box bounds of the eliminated variable become two general
+    // constraints on the rest: x_k = (b - sum_m a_m x_m) / a_k.
+    for (int bound = 0; bound < 2; ++bound) {
+      const bool upper = bound == 0;  // x_k <= hi_k, then x_k >= lo_k.
+      const double limit = upper ? p.hi[k] : p.lo[k];
+      LpConstraint bc;
+      bc.a.resize(p.dim - 1);
+      const bool flip = upper == (ak > 0);
+      int idx = 0;
+      for (int j = 0; j < p.dim; ++j) {
+        if (j == k) continue;
+        bc.a[idx++] = flip ? -con.a[j] : con.a[j];
+      }
+      bc.b = flip ? limit * ak - con.b : con.b - limit * ak;
+      sub.cons.push_back(std::move(bc));
+    }
+
+    auto reduced = Solve(sub);
+    if (!reduced.has_value()) return std::nullopt;
+    // Reconstruct the full point.
+    {
+      int idx = 0;
+      double s = 0;
+      for (int j = 0; j < p.dim; ++j) {
+        if (j == k) continue;
+        x[j] = (*reduced)[idx++];
+        s += con.a[j] * x[j];
+      }
+      x[k] = (con.b - s) / ak;
+      x[k] = std::clamp(x[k], p.lo[k], p.hi[k]);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> LpFeasiblePoint(
+    const std::vector<LpConstraint>& constraints, std::vector<double> lo,
+    std::vector<double> hi) {
+  KWSC_CHECK(!lo.empty());
+  KWSC_CHECK(lo.size() == hi.size());
+  Problem p;
+  p.dim = static_cast<int>(lo.size());
+  for (const LpConstraint& con : constraints) {
+    KWSC_CHECK(static_cast<int>(con.a.size()) == p.dim);
+  }
+  p.cons = constraints;
+  p.lo = std::move(lo);
+  p.hi = std::move(hi);
+  for (int j = 0; j < p.dim; ++j) {
+    if (p.lo[j] > p.hi[j]) return std::nullopt;  // Empty box.
+    p.lo[j] = std::max(p.lo[j], -kBigBound);
+    p.hi[j] = std::min(p.hi[j], kBigBound);
+  }
+  // Graded objective to break degeneracy ties deterministically.
+  p.c.resize(p.dim);
+  double weight = 1.0;
+  for (int j = 0; j < p.dim; ++j, weight *= 0.125) p.c[j] = weight;
+  return Solve(p);
+}
+
+}  // namespace kwsc

@@ -1,0 +1,69 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Low-dimensional linear-programming feasibility (Seidel-style incremental
+// solver).
+//
+// The partition-substrate indexes prune a child when its cell misses the
+// query polytope. The default test is conservative — each halfspace is
+// tested against the box separately — which can keep visiting cells that
+// intersect every constraint individually but not their conjunction. This
+// solver decides the conjunction exactly: is
+//     { x : a_i . x <= b_i  for all i }  ∩  [lo, hi]
+// non-empty? It runs Seidel's incremental scheme with variable elimination
+// (recursing on dimension), which is O(n) expected for constant dimension —
+// and the inputs here are tiny (s + O(1) constraints, d <= 7).
+//
+// Arithmetic is floating point with a relative tolerance; answers within
+// the tolerance band lean "feasible", keeping the index's pruning
+// conservative (never drops a true result).
+
+#ifndef KWSC_GEOM_LP_H_
+#define KWSC_GEOM_LP_H_
+
+#include <optional>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/halfspace.h"
+
+namespace kwsc {
+
+/// A linear constraint sum_j a[j] x[j] <= b over `dim` variables.
+struct LpConstraint {
+  std::vector<double> a;
+  double b = 0;
+};
+
+/// Decides feasibility of the constraint system intersected with the box
+/// [lo, hi] (both inclusive). `lo[j] <= hi[j]` is required. Returns a
+/// witness point when feasible.
+std::optional<std::vector<double>> LpFeasiblePoint(
+    const std::vector<LpConstraint>& constraints, std::vector<double> lo,
+    std::vector<double> hi);
+
+/// Convenience wrapper over the library's geometric types: does the query
+/// polytope intersect the cell box?
+template <int D, typename Scalar>
+bool PolytopeIntersectsBox(const ConvexQuery<D, Scalar>& query,
+                           const Box<D, Scalar>& cell) {
+  std::vector<LpConstraint> constraints;
+  constraints.reserve(query.constraints.size());
+  for (const auto& h : query.constraints) {
+    LpConstraint c;
+    c.a.assign(h.coeffs.begin(), h.coeffs.end());
+    c.b = h.rhs;
+    constraints.push_back(std::move(c));
+  }
+  std::vector<double> lo(D);
+  std::vector<double> hi(D);
+  for (int j = 0; j < D; ++j) {
+    lo[j] = static_cast<double>(cell.lo[j]);
+    hi[j] = static_cast<double>(cell.hi[j]);
+  }
+  return LpFeasiblePoint(constraints, std::move(lo), std::move(hi))
+      .has_value();
+}
+
+}  // namespace kwsc
+
+#endif  // KWSC_GEOM_LP_H_

@@ -1,0 +1,103 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "geom/polygon2d.h"
+
+#include <cmath>
+
+namespace kwsc {
+
+ConvexPolygon2D ConvexPolygon2D::FromBox(const Box<2>& box) {
+  return ConvexPolygon2D({{{box.lo[0], box.lo[1]}},
+                          {{box.hi[0], box.lo[1]}},
+                          {{box.hi[0], box.hi[1]}},
+                          {{box.lo[0], box.hi[1]}}});
+}
+
+ConvexPolygon2D ConvexPolygon2D::ClipBy(const Halfspace<2>& h) const {
+  std::vector<Point<2>> out;
+  const size_t n = vertices_.size();
+  if (n == 0) return ConvexPolygon2D();
+  out.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const Point<2>& a = vertices_[i];
+    const Point<2>& b = vertices_[(i + 1) % n];
+    const double fa = h.Eval(a) - h.rhs;
+    const double fb = h.Eval(b) - h.rhs;
+    const bool a_in = fa <= kEps;
+    const bool b_in = fb <= kEps;
+    if (a_in) out.push_back(a);
+    if (a_in != b_in) {
+      // The edge crosses the boundary; emit the crossing point.
+      const double t = fa / (fa - fb);
+      out.push_back({{a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1])}});
+    }
+  }
+  return ConvexPolygon2D(std::move(out));
+}
+
+bool ConvexPolygon2D::IntersectsHalfplane(const Halfspace<2>& h,
+                                          double slack) const {
+  // A linear functional over a convex polygon attains its minimum at a
+  // vertex, so some point satisfies h iff some vertex does.
+  for (const auto& v : vertices_) {
+    if (h.Eval(v) <= h.rhs + slack) return true;
+  }
+  return false;
+}
+
+bool ConvexPolygon2D::InsideHalfplane(const Halfspace<2>& h,
+                                      double margin) const {
+  if (Empty()) return false;
+  for (const auto& v : vertices_) {
+    if (h.Eval(v) > h.rhs + margin) return false;
+  }
+  return true;
+}
+
+bool ConvexPolygon2D::IntersectsBox(const Box<2>& box) const {
+  // Clip by the four box halfplanes; non-empty result means intersection.
+  ConvexPolygon2D clipped = *this;
+  clipped = clipped.ClipBy({{{1.0, 0.0}}, box.hi[0]});   //  x <= hi.x
+  clipped = clipped.ClipBy({{{-1.0, 0.0}}, -box.lo[0]});  // -x <= -lo.x
+  clipped = clipped.ClipBy({{{0.0, 1.0}}, box.hi[1]});   //  y <= hi.y
+  clipped = clipped.ClipBy({{{0.0, -1.0}}, -box.lo[1]});  // -y <= -lo.y
+  return !clipped.Empty();
+}
+
+bool ConvexPolygon2D::InsideBox(const Box<2>& box) const {
+  if (Empty()) return false;
+  for (const auto& v : vertices_) {
+    if (v[0] < box.lo[0] - kEps || v[0] > box.hi[0] + kEps ||
+        v[1] < box.lo[1] - kEps || v[1] > box.hi[1] + kEps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConvexPolygon2D::Contains(const Point<2>& p, double slack) const {
+  const size_t n = vertices_.size();
+  if (n < 3) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point<2>& a = vertices_[i];
+    const Point<2>& b = vertices_[(i + 1) % n];
+    const double cross =
+        (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0]);
+    if (cross < -slack) return false;  // Right of a CCW edge: outside.
+  }
+  return true;
+}
+
+double ConvexPolygon2D::Area() const {
+  const size_t n = vertices_.size();
+  if (n < 3) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point<2>& a = vertices_[i];
+    const Point<2>& b = vertices_[(i + 1) % n];
+    twice += a[0] * b[1] - b[0] * a[1];
+  }
+  return std::fabs(twice) / 2.0;
+}
+
+}  // namespace kwsc

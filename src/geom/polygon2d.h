@@ -1,0 +1,70 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Convex polygons in the plane — the cells of the 2-D partition-tree
+// substrate (Appendix D identifies the substrate's requirements: cells cover
+// their points, children partition the parent, and a query region can be
+// tested against a cell).
+//
+// All tests take an epsilon so that pruning is conservative: a cell is only
+// skipped when it is clearly disjoint from the query, and only classified as
+// covered when it is clearly inside. Misclassifying a crossing cell as
+// "maybe intersecting" costs a visit, never a missed result.
+
+#ifndef KWSC_GEOM_POLYGON2D_H_
+#define KWSC_GEOM_POLYGON2D_H_
+
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/halfspace.h"
+#include "geom/point.h"
+
+namespace kwsc {
+
+/// A convex polygon with counter-clockwise vertices. Fewer than three
+/// vertices means the (possibly clipped-away) polygon is treated as empty.
+class ConvexPolygon2D {
+ public:
+  static constexpr double kEps = 1e-9;
+
+  ConvexPolygon2D() = default;
+  explicit ConvexPolygon2D(std::vector<Point<2>> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  /// Rectangle as a polygon (used for root cells standing in for R^2).
+  static ConvexPolygon2D FromBox(const Box<2>& box);
+
+  bool Empty() const { return vertices_.size() < 3; }
+  const std::vector<Point<2>>& vertices() const { return vertices_; }
+
+  /// Sutherland–Hodgman clip against `h` (keeps the side Eval <= rhs).
+  ConvexPolygon2D ClipBy(const Halfspace<2>& h) const;
+
+  /// True iff some point of the polygon satisfies `h` (up to slack).
+  bool IntersectsHalfplane(const Halfspace<2>& h, double slack = kEps) const;
+
+  /// True iff every vertex of the polygon satisfies `h` (with margin).
+  bool InsideHalfplane(const Halfspace<2>& h, double margin = kEps) const;
+
+  /// True iff the polygon intersects the axis box (conservative; exact up to
+  /// kEps via mutual separating-halfplane checks).
+  bool IntersectsBox(const Box<2>& box) const;
+
+  /// True iff the polygon lies inside the axis box.
+  bool InsideBox(const Box<2>& box) const;
+
+  bool Contains(const Point<2>& p, double slack = kEps) const;
+
+  double Area() const;
+
+  size_t MemoryBytes() const {
+    return vertices_.capacity() * sizeof(Point<2>);
+  }
+
+ private:
+  std::vector<Point<2>> vertices_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_GEOM_POLYGON2D_H_

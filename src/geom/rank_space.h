@@ -1,0 +1,121 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Rank-space reduction (Section 3.4 of the paper).
+//
+// The kd-tree conversion assumes general position: no two objects share an
+// x- or y-coordinate. The paper removes the assumption by sorting the objects
+// on each dimension, breaking ties by object id, and working with ranks. A
+// query rectangle converts to a rank rectangle in O(log N) per dimension
+// (binary search on the sorted coordinates) without changing its result set.
+
+#ifndef KWSC_GEOM_RANK_SPACE_H_
+#define KWSC_GEOM_RANK_SPACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory.h"
+#include "common/serialize.h"
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace kwsc {
+
+/// Maps D-dimensional points with arbitrary (possibly duplicated) coordinates
+/// to distinct integer ranks per dimension, and original-space query boxes to
+/// rank-space boxes with identical result sets.
+template <int D, typename Scalar = double>
+class RankSpace {
+ public:
+  using RankPoint = Point<D, int64_t>;
+  using RankBox = Box<D, int64_t>;
+
+  RankSpace() = default;
+
+  /// Builds rank tables over `points`; point i belongs to object id i.
+  explicit RankSpace(std::span<const Point<D, Scalar>> points) {
+    const size_t n = points.size();
+    std::vector<uint32_t> order(n);
+    for (int dim = 0; dim < D; ++dim) {
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (points[a][dim] != points[b][dim]) {
+          return points[a][dim] < points[b][dim];
+        }
+        return a < b;  // Ties broken by object id (Section 3.4).
+      });
+      sorted_coords_[dim].resize(n);
+      ranks_[dim].resize(n);
+      for (size_t pos = 0; pos < n; ++pos) {
+        sorted_coords_[dim][pos] = points[order[pos]][dim];
+        ranks_[dim][order[pos]] = static_cast<int64_t>(pos);
+      }
+    }
+    num_points_ = n;
+  }
+
+  size_t num_points() const { return num_points_; }
+
+  /// The rank-space image of object `id`.
+  RankPoint ToRank(uint32_t id) const {
+    RankPoint p;
+    for (int dim = 0; dim < D; ++dim) p[dim] = ranks_[dim][id];
+    return p;
+  }
+
+  /// Converts an original-space closed box to rank space. The result may be
+  /// inverted (lo > hi) in a dimension when no coordinate falls inside, which
+  /// callers must treat as an empty query.
+  RankBox ToRankBox(const Box<D, Scalar>& box) const {
+    RankBox r;
+    for (int dim = 0; dim < D; ++dim) {
+      const auto& coords = sorted_coords_[dim];
+      // First rank whose coordinate is >= box.lo[dim].
+      r.lo[dim] = std::lower_bound(coords.begin(), coords.end(), box.lo[dim]) -
+                  coords.begin();
+      // Last rank whose coordinate is <= box.hi[dim].
+      r.hi[dim] = (std::upper_bound(coords.begin(), coords.end(),
+                                    box.hi[dim]) -
+                   coords.begin()) -
+                  1;
+    }
+    return r;
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (int dim = 0; dim < D; ++dim) {
+      total += VectorBytes(sorted_coords_[dim]) + VectorBytes(ranks_[dim]);
+    }
+    return total;
+  }
+
+  void Save(OutputArchive* ar) const {
+    ar->Pod<uint64_t>(num_points_);
+    for (int dim = 0; dim < D; ++dim) {
+      ar->Vec(sorted_coords_[dim]);
+      ar->Vec(ranks_[dim]);
+    }
+  }
+
+  void Load(InputArchive* ar) {
+    num_points_ = ar->Pod<uint64_t>();
+    for (int dim = 0; dim < D; ++dim) {
+      sorted_coords_[dim] = ar->Vec<Scalar>();
+      ranks_[dim] = ar->Vec<int64_t>();
+    }
+  }
+
+ private:
+  std::array<std::vector<Scalar>, D> sorted_coords_;
+  std::array<std::vector<int64_t>, D> ranks_;  // ranks_[dim][object id].
+  size_t num_points_ = 0;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_GEOM_RANK_SPACE_H_

@@ -1,0 +1,97 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Simplex queries (Appendix D's SP-KW problem statement).
+//
+// A d-simplex is a polyhedron with d+1 facets; SP-KW queries supply one.
+// These helpers build the halfspace representation from vertices for d = 2
+// (triangles) and d = 3 (tetrahedra), orienting every facet inward so the
+// result is a ConvexQuery usable with any partition-substrate index. The
+// LC-KW reduction of Theorem 5 (polytope -> O(1) simplices) also goes the
+// other way here: any ConvexQuery is already accepted natively, so the
+// decomposition is only needed when callers genuinely start from vertices.
+
+#ifndef KWSC_GEOM_SIMPLEX_H_
+#define KWSC_GEOM_SIMPLEX_H_
+
+#include <array>
+
+#include "common/macros.h"
+#include "geom/halfspace.h"
+#include "geom/point.h"
+
+namespace kwsc {
+
+/// Halfspace form of the triangle with the given vertices (any orientation;
+/// degenerate triangles — collinear vertices — are rejected).
+inline ConvexQuery<2> TriangleQuery(const Point<2>& a, const Point<2>& b,
+                                    const Point<2>& c) {
+  // Signed area decides the orientation; flip to counter-clockwise.
+  const double signed2 =
+      (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+  KWSC_CHECK_MSG(signed2 != 0.0, "degenerate (collinear) triangle");
+  const Point<2>* v[3] = {&a, &b, &c};
+  if (signed2 < 0) std::swap(v[1], v[2]);
+
+  ConvexQuery<2> q;
+  for (int i = 0; i < 3; ++i) {
+    const Point<2>& u = *v[i];
+    const Point<2>& w = *v[(i + 1) % 3];
+    // Interior is left of the directed edge u -> w:
+    // (w_y - u_y) x - (w_x - u_x) y <= u_x (w_y - u_y) - u_y (w_x - u_x).
+    Halfspace<2> h;
+    h.coeffs = {w[1] - u[1], -(w[0] - u[0])};
+    h.rhs = u[0] * (w[1] - u[1]) - u[1] * (w[0] - u[0]);
+    q.constraints.push_back(h);
+  }
+  return q;
+}
+
+/// Halfspace form of the tetrahedron with the given vertices (degenerate —
+/// coplanar — inputs are rejected). Each facet plane is oriented toward the
+/// opposite vertex.
+inline ConvexQuery<3> TetrahedronQuery(const Point<3>& a, const Point<3>& b,
+                                       const Point<3>& c, const Point<3>& d) {
+  const std::array<const Point<3>*, 4> v = {&a, &b, &c, &d};
+  ConvexQuery<3> q;
+  for (int opposite = 0; opposite < 4; ++opposite) {
+    // The facet spanned by the other three vertices.
+    std::array<const Point<3>*, 3> f;
+    int idx = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (i != opposite) f[idx++] = v[i];
+    }
+    // Plane normal = (f1 - f0) x (f2 - f0).
+    double e1[3];
+    double e2[3];
+    for (int i = 0; i < 3; ++i) {
+      e1[i] = (*f[1])[i] - (*f[0])[i];
+      e2[i] = (*f[2])[i] - (*f[0])[i];
+    }
+    double normal[3] = {e1[1] * e2[2] - e1[2] * e2[1],
+                        e1[2] * e2[0] - e1[0] * e2[2],
+                        e1[0] * e2[1] - e1[1] * e2[0]};
+    double offset = 0;
+    double at_opposite = 0;
+    for (int i = 0; i < 3; ++i) {
+      offset += normal[i] * (*f[0])[i];
+      at_opposite += normal[i] * (*v[opposite])[i];
+    }
+    KWSC_CHECK_MSG(at_opposite != offset,
+                   "degenerate (coplanar) tetrahedron");
+    // Orient so the opposite vertex satisfies the constraint.
+    Halfspace<3> h;
+    if (at_opposite < offset) {
+      h.coeffs = {normal[0], normal[1], normal[2]};
+      h.rhs = offset;
+    } else {
+      h.coeffs = {-normal[0], -normal[1], -normal[2]};
+      h.rhs = -offset;
+    }
+    q.constraints.push_back(h);
+  }
+  return q;
+}
+
+}  // namespace kwsc
+
+#endif  // KWSC_GEOM_SIMPLEX_H_

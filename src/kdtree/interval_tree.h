@@ -1,0 +1,162 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// A centered interval tree — the classical structured-only index for the
+// d = 1 RR-KW setting (temporal keyword search [7]): report every data
+// interval overlapping a query interval, then filter by keywords. Stabbing
+// and overlap queries run in O(log n + matches); the keyword filter is
+// applied downstream, which is exactly the structured-only naive baseline
+// of Section 1 for interval data.
+
+#ifndef KWSC_KDTREE_INTERVAL_TREE_H_
+#define KWSC_KDTREE_INTERVAL_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory.h"
+#include "geom/box.h"
+
+namespace kwsc {
+
+template <typename Scalar = double>
+class IntervalTree {
+ public:
+  using Interval = Box<1, Scalar>;
+
+  explicit IntervalTree(std::span<const Interval> intervals)
+      : intervals_(intervals.begin(), intervals.end()) {
+    for (const Interval& iv : intervals_) {
+      KWSC_CHECK_MSG(iv.lo[0] <= iv.hi[0], "inverted interval");
+    }
+    if (intervals_.empty()) return;
+    std::vector<uint32_t> ids(intervals_.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    root_ = Build(&ids);
+  }
+
+  /// Emits the id of every interval overlapping the closed query interval
+  /// [lo, hi]; `emit` returns false to stop early.
+  template <typename Emit>
+  void Overlapping(Scalar lo, Scalar hi, Emit&& emit) const {
+    if (root_ >= 0 && lo <= hi) Visit(root_, lo, hi, emit);
+  }
+
+  std::vector<uint32_t> Overlapping(Scalar lo, Scalar hi) const {
+    std::vector<uint32_t> out;
+    Overlapping(lo, hi, [&out](uint32_t id) {
+      out.push_back(id);
+      return true;
+    });
+    return out;
+  }
+
+  /// Intervals containing the point x.
+  std::vector<uint32_t> Stabbing(Scalar x) const { return Overlapping(x, x); }
+
+  size_t MemoryBytes() const {
+    size_t total = VectorBytes(intervals_) + VectorBytes(nodes_);
+    for (const Node& node : nodes_) {
+      total += VectorBytes(node.by_lo) + VectorBytes(node.by_hi);
+    }
+    return total;
+  }
+
+ private:
+  struct Node {
+    Scalar center{};
+    // Intervals containing `center`, sorted by left endpoint ascending and
+    // (separately) by right endpoint descending.
+    std::vector<uint32_t> by_lo;
+    std::vector<uint32_t> by_hi;
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t Build(std::vector<uint32_t>* ids) {
+    if (ids->empty()) return -1;
+    // Center = median of interval midpoints.
+    std::vector<Scalar> mids;
+    mids.reserve(ids->size());
+    for (uint32_t id : *ids) {
+      mids.push_back((intervals_[id].lo[0] + intervals_[id].hi[0]) / 2);
+    }
+    std::nth_element(mids.begin(), mids.begin() + mids.size() / 2,
+                     mids.end());
+    const Scalar center = mids[mids.size() / 2];
+
+    const int32_t index = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[index].center = center;
+
+    std::vector<uint32_t> here;
+    std::vector<uint32_t> left_ids;
+    std::vector<uint32_t> right_ids;
+    for (uint32_t id : *ids) {
+      const Interval& iv = intervals_[id];
+      if (iv.hi[0] < center) {
+        left_ids.push_back(id);
+      } else if (iv.lo[0] > center) {
+        right_ids.push_back(id);
+      } else {
+        here.push_back(id);
+      }
+    }
+    ids->clear();
+    ids->shrink_to_fit();
+
+    std::sort(here.begin(), here.end(), [&](uint32_t a, uint32_t b) {
+      return intervals_[a].lo[0] < intervals_[b].lo[0];
+    });
+    nodes_[index].by_lo = here;
+    std::sort(here.begin(), here.end(), [&](uint32_t a, uint32_t b) {
+      return intervals_[a].hi[0] > intervals_[b].hi[0];
+    });
+    nodes_[index].by_hi = std::move(here);
+
+    const int32_t left = Build(&left_ids);
+    const int32_t right = Build(&right_ids);
+    nodes_[index].left = left;
+    nodes_[index].right = right;
+    return index;
+  }
+
+  template <typename Emit>
+  bool Visit(int32_t node_index, Scalar lo, Scalar hi, Emit& emit) const {
+    const Node& node = nodes_[node_index];
+    if (hi < node.center) {
+      // Query lies left of the center: of the centered intervals, exactly
+      // those with lo[0] <= hi overlap.
+      for (uint32_t id : node.by_lo) {
+        if (intervals_[id].lo[0] > hi) break;
+        if (!emit(id)) return false;
+      }
+      return node.left < 0 || Visit(node.left, lo, hi, emit);
+    }
+    if (lo > node.center) {
+      for (uint32_t id : node.by_hi) {
+        if (intervals_[id].hi[0] < lo) break;
+        if (!emit(id)) return false;
+      }
+      return node.right < 0 || Visit(node.right, lo, hi, emit);
+    }
+    // The query straddles the center: every centered interval overlaps.
+    for (uint32_t id : node.by_lo) {
+      if (!emit(id)) return false;
+    }
+    if (node.left >= 0 && !Visit(node.left, lo, hi, emit)) return false;
+    if (node.right >= 0 && !Visit(node.right, lo, hi, emit)) return false;
+    return true;
+  }
+
+  std::vector<Interval> intervals_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_KDTREE_INTERVAL_TREE_H_

@@ -1,0 +1,263 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// A classic kd-tree over points (Section 3.1 reviews the structure).
+//
+// This is the *pure geometry* index: median splits on alternating axes, box
+// cells, bucketed leaves. It serves two roles in the reproduction:
+//   1. the structured-only naive baseline (range query, then filter by
+//      keywords), whose candidate-set blow-up motivates the whole paper; and
+//   2. a reference substrate for the crossing-sensitivity instrumentation of
+//      bench_crossing.
+// The transformed index of Theorem 1 (core/orp_kw.h) builds its own tree
+// because it must split the *verbose set* by document weight and track
+// pivot/active sets, which a plain kd-tree has no reason to support.
+
+#ifndef KWSC_KDTREE_KD_TREE_H_
+#define KWSC_KDTREE_KD_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/memory.h"
+#include "geom/box.h"
+#include "geom/halfspace.h"
+#include "geom/point.h"
+
+namespace kwsc {
+
+template <int D, typename Scalar = double>
+class KdTree {
+ public:
+  using PointType = Point<D, Scalar>;
+  using BoxType = Box<D, Scalar>;
+
+  KdTree() = default;
+
+  /// Builds over a copy of `points`; reported ids are indices into `points`.
+  explicit KdTree(std::span<const PointType> points, int leaf_capacity = 16)
+      : points_(points.begin(), points.end()),
+        leaf_capacity_(std::max(1, leaf_capacity)) {
+    ids_.resize(points_.size());
+    std::iota(ids_.begin(), ids_.end(), 0);
+    if (!points_.empty()) {
+      nodes_.reserve(2 * points_.size() / leaf_capacity_ + 2);
+      BuildNode(0, points_.size(), 0);
+    }
+  }
+
+  size_t num_points() const { return points_.size(); }
+
+  /// Reports ids of all points inside the closed box `q`, via `emit`.
+  /// `emit` returns false to abort the traversal early.
+  template <typename Emit>
+  void RangeReport(const BoxType& q, Emit&& emit) const {
+    if (nodes_.empty() || !q.Valid()) return;
+    ReportBoxRec(0, q, emit);
+  }
+
+  /// Reports ids of all points inside the box, appended to `out`.
+  void RangeReport(const BoxType& q, std::vector<uint32_t>* out) const {
+    RangeReport(q, [out](uint32_t id) {
+      out->push_back(id);
+      return true;
+    });
+  }
+
+  /// Reports ids of all points satisfying every halfspace constraint.
+  template <typename Emit>
+  void ConvexReport(const ConvexQuery<D, Scalar>& q, Emit&& emit) const {
+    if (nodes_.empty()) return;
+    ReportConvexRec(0, q, emit);
+  }
+
+  /// Best-first nearest-neighbour enumeration under the distance functor
+  /// `dist` (must provide PointDistance(p, q) and BoxDistance(box, q), both
+  /// returning comparable doubles). Emits point ids in non-decreasing
+  /// distance order until `emit` returns false.
+  template <typename DistanceFns, typename Emit>
+  void NearestFirst(const PointType& q, const DistanceFns& dist,
+                    Emit&& emit) const {
+    if (nodes_.empty()) return;
+    struct Entry {
+      double priority;
+      uint32_t node;       // Valid when is_point == false.
+      uint32_t point_id;   // Valid when is_point == true.
+      bool is_point;
+      bool operator>(const Entry& other) const {
+        return priority > other.priority;
+      }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.push({dist.BoxDistance(nodes_[0].bounds, q), 0, 0, false});
+    while (!heap.empty()) {
+      Entry top = heap.top();
+      heap.pop();
+      if (top.is_point) {
+        if (!emit(top.point_id, top.priority)) return;
+        continue;
+      }
+      const Node& node = nodes_[top.node];
+      if (node.IsLeaf()) {
+        for (uint32_t i = node.begin; i < node.end; ++i) {
+          const uint32_t id = ids_[i];
+          heap.push({dist.PointDistance(points_[id], q), 0, id, true});
+        }
+      } else {
+        for (uint32_t child : {node.left, node.right}) {
+          heap.push({dist.BoxDistance(nodes_[child].bounds, q), child, 0,
+                     false});
+        }
+      }
+    }
+  }
+
+  size_t MemoryBytes() const {
+    return VectorBytes(points_) + VectorBytes(ids_) + VectorBytes(nodes_);
+  }
+
+ private:
+  struct Node {
+    BoxType bounds;        // Tight bounding box of the points below.
+    uint32_t begin = 0;    // Leaf: range in ids_.
+    uint32_t end = 0;
+    uint32_t left = 0;     // Internal: child node indices.
+    uint32_t right = 0;
+    bool IsLeaf() const { return left == 0; }  // Node 0 is the root.
+  };
+
+  uint32_t BuildNode(size_t begin, size_t end, int depth) {
+    const uint32_t index = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    BoxType bounds;
+    bounds.lo = points_[ids_[begin]];
+    bounds.hi = points_[ids_[begin]];
+    for (size_t i = begin; i < end; ++i) {
+      const PointType& p = points_[ids_[i]];
+      for (int dim = 0; dim < D; ++dim) {
+        bounds.lo[dim] = std::min(bounds.lo[dim], p[dim]);
+        bounds.hi[dim] = std::max(bounds.hi[dim], p[dim]);
+      }
+    }
+    nodes_[index].bounds = bounds;
+    if (end - begin <= static_cast<size_t>(leaf_capacity_)) {
+      nodes_[index].begin = static_cast<uint32_t>(begin);
+      nodes_[index].end = static_cast<uint32_t>(end);
+      return index;
+    }
+    const int dim = depth % D;
+    const size_t mid = begin + (end - begin) / 2;
+    std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                     ids_.begin() + end, [&](uint32_t a, uint32_t b) {
+                       if (points_[a][dim] != points_[b][dim]) {
+                         return points_[a][dim] < points_[b][dim];
+                       }
+                       return a < b;
+                     });
+    const uint32_t left = BuildNode(begin, mid, depth + 1);
+    const uint32_t right = BuildNode(mid, end, depth + 1);
+    nodes_[index].left = left;
+    nodes_[index].right = right;
+    return index;
+  }
+
+  template <typename Emit>
+  bool ReportBoxRec(uint32_t node_index, const BoxType& q, Emit& emit) const {
+    const Node& node = nodes_[node_index];
+    if (!q.Intersects(node.bounds)) return true;
+    if (node.bounds.InsideOf(q)) return EmitSubtree(node_index, emit);
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t id = ids_[i];
+        if (q.Contains(points_[id]) && !emit(id)) return false;
+      }
+      return true;
+    }
+    return ReportBoxRec(node.left, q, emit) &&
+           ReportBoxRec(node.right, q, emit);
+  }
+
+  template <typename Emit>
+  bool ReportConvexRec(uint32_t node_index, const ConvexQuery<D, Scalar>& q,
+                       Emit& emit) const {
+    const Node& node = nodes_[node_index];
+    bool fully_inside = true;
+    for (const auto& h : q.constraints) {
+      if (!node.bounds.IntersectsHalfspace(h)) return true;  // Disjoint.
+      if (!node.bounds.InsideHalfspace(h)) fully_inside = false;
+    }
+    if (fully_inside) return EmitSubtree(node_index, emit);
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t id = ids_[i];
+        if (q.Satisfies(points_[id]) && !emit(id)) return false;
+      }
+      return true;
+    }
+    return ReportConvexRec(node.left, q, emit) &&
+           ReportConvexRec(node.right, q, emit);
+  }
+
+  template <typename Emit>
+  bool EmitSubtree(uint32_t node_index, Emit& emit) const {
+    const Node& node = nodes_[node_index];
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (!emit(ids_[i])) return false;
+      }
+      return true;
+    }
+    return EmitSubtree(node.left, emit) && EmitSubtree(node.right, emit);
+  }
+
+  std::vector<PointType> points_;
+  std::vector<uint32_t> ids_;
+  std::vector<Node> nodes_;
+  int leaf_capacity_ = 16;
+};
+
+/// Distance functors for KdTree::NearestFirst.
+template <int D, typename Scalar>
+struct LInfDistanceFns {
+  double PointDistance(const Point<D, Scalar>& p,
+                       const Point<D, Scalar>& q) const {
+    return static_cast<double>(LInfDistance(p, q));
+  }
+  double BoxDistance(const Box<D, Scalar>& b, const Point<D, Scalar>& q) const {
+    double best = 0;
+    for (int i = 0; i < D; ++i) {
+      double diff = 0;
+      if (q[i] < b.lo[i]) diff = static_cast<double>(b.lo[i] - q[i]);
+      if (q[i] > b.hi[i]) diff = static_cast<double>(q[i] - b.hi[i]);
+      best = std::max(best, diff);
+    }
+    return best;
+  }
+};
+
+template <int D, typename Scalar>
+struct L2SquaredDistanceFns {
+  double PointDistance(const Point<D, Scalar>& p,
+                       const Point<D, Scalar>& q) const {
+    return static_cast<double>(L2DistanceSquared(p, q));
+  }
+  double BoxDistance(const Box<D, Scalar>& b, const Point<D, Scalar>& q) const {
+    double total = 0;
+    for (int i = 0; i < D; ++i) {
+      double diff = 0;
+      if (q[i] < b.lo[i]) diff = static_cast<double>(b.lo[i] - q[i]);
+      if (q[i] > b.hi[i]) diff = static_cast<double>(q[i] - b.hi[i]);
+      total += diff * diff;
+    }
+    return total;
+  }
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_KDTREE_KD_TREE_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "ksi/framework_ksi.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/ops_budget.h"
+
+namespace kwsc {
+
+FrameworkKsi::FrameworkKsi(const KsiInstance* instance,
+                           FrameworkOptions options)
+    : instance_(instance) {
+  KWSC_CHECK(instance != nullptr);
+  points_.resize(instance->corpus.num_objects());
+  for (uint32_t e = 0; e < points_.size(); ++e) {
+    points_[e][0] = static_cast<double>(e);  // Arbitrary distinct embedding.
+  }
+  engine_ = std::make_unique<OrpKwIndex<1, double>>(
+      std::span<const Point<1, double>>(points_), &instance->corpus, options);
+}
+
+int FrameworkKsi::k() const { return engine_->k(); }
+
+std::vector<int64_t> FrameworkKsi::Report(std::span<const KeywordId> set_ids,
+                                          QueryStats* stats) const {
+  std::vector<int64_t> values;
+  engine_->QueryEmit(Box<1, double>::Everything(), set_ids,
+                     [&](ObjectId e) {
+                       values.push_back(instance_->values[e]);
+                       return true;
+                     },
+                     stats);
+  return values;
+}
+
+bool FrameworkKsi::Empty(std::span<const KeywordId> set_ids,
+                         QueryStats* stats) const {
+  const double n = static_cast<double>(instance_->corpus.total_weight());
+  const double exponent = 1.0 - 1.0 / static_cast<double>(k());
+  OpsBudget budget(static_cast<uint64_t>(64.0 * (std::pow(n, exponent) + 1)));
+  bool witness = false;
+  engine_->QueryEmit(Box<1, double>::Everything(), set_ids,
+                     [&witness](ObjectId) {
+                       witness = true;
+                       return false;  // One witness settles emptiness.
+                     },
+                     stats, &budget);
+  // Budget exhaustion without a witness certifies non-emptiness (footnote 4:
+  // the reporting query would have terminated within its OUT=0 bound).
+  return !witness && !budget.Exhausted();
+}
+
+size_t FrameworkKsi::MemoryBytes() const {
+  return engine_->MemoryBytes() + points_.capacity() * sizeof(Point<1, double>);
+}
+
+}  // namespace kwsc

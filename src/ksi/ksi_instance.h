@@ -1,0 +1,40 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// k-Set Intersection instances (Section 1.2).
+//
+// A k-SI input is m sets S_1..S_m of integers; a reporting query picks k
+// distinct set ids and returns their intersection. The paper shows k-SI and
+// "pure" keyword search are the same problem: treat each set id as a keyword
+// and give every element e the document { i : e ∈ S_i }. This type performs
+// that translation once so every index in the library can run on k-SI data.
+
+#ifndef KWSC_KSI_KSI_INSTANCE_H_
+#define KWSC_KSI_KSI_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+struct KsiInstance {
+  /// values[e] is the original integer of object e (elements are
+  /// deduplicated across sets).
+  std::vector<int64_t> values;
+
+  /// doc(e) = sorted ids of the sets containing values[e]; the instance's
+  /// input size N = corpus.total_weight() = sum of |S_i| (Section 1.2).
+  Corpus corpus;
+
+  size_t num_sets = 0;
+
+  /// Builds the keyword-search view of `sets` (the inverted-index idea of
+  /// Section 1.2). Duplicate values within one set are collapsed.
+  static KsiInstance FromSets(const std::vector<std::vector<int64_t>>& sets);
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_KSI_KSI_INSTANCE_H_

@@ -1,0 +1,26 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "ksi/naive_ksi.h"
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+NaiveKsi::NaiveKsi(const KsiInstance* instance)
+    : instance_(instance), postings_(instance->corpus) {
+  KWSC_CHECK(instance != nullptr);
+}
+
+std::vector<int64_t> NaiveKsi::Report(std::span<const KeywordId> set_ids) const {
+  std::vector<ObjectId> ids = postings_.Intersect(set_ids);
+  std::vector<int64_t> values;
+  values.reserve(ids.size());
+  for (ObjectId e : ids) values.push_back(instance_->values[e]);
+  return values;  // Object ids ascend with value, so values are sorted.
+}
+
+bool NaiveKsi::Empty(std::span<const KeywordId> set_ids) const {
+  return postings_.IntersectionEmpty(set_ids);
+}
+
+}  // namespace kwsc

@@ -1,0 +1,42 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// The naive k-SI index (Section 2's baseline): an inverted index over the
+// instance, with galloping list intersection. Query time is Theta(N) in the
+// worst case — the bound every transformed index in this library is designed
+// to beat when OUT is small.
+
+#ifndef KWSC_KSI_NAIVE_KSI_H_
+#define KWSC_KSI_NAIVE_KSI_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ksi/ksi_instance.h"
+#include "text/inverted_index.h"
+
+namespace kwsc {
+
+class NaiveKsi {
+ public:
+  /// `instance` must outlive the index.
+  explicit NaiveKsi(const KsiInstance* instance);
+
+  /// Reporting query: the values in the intersection of the chosen sets,
+  /// ascending.
+  std::vector<int64_t> Report(std::span<const KeywordId> set_ids) const;
+
+  /// Emptiness query with first-witness early exit.
+  bool Empty(std::span<const KeywordId> set_ids) const;
+
+  size_t MemoryBytes() const { return postings_.MemoryBytes(); }
+
+ private:
+  const KsiInstance* instance_;
+  InvertedIndex postings_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_KSI_NAIVE_KSI_H_

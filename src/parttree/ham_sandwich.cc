@@ -1,0 +1,130 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "parttree/ham_sandwich.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+namespace {
+
+/// Weighted median of `values` with `weights`: the smallest value v such
+/// that the weight of entries <= v reaches half the total.
+double WeightedMedian(std::vector<std::pair<double, uint64_t>>* entries) {
+  std::sort(entries->begin(), entries->end());
+  uint64_t total = 0;
+  for (const auto& [value, weight] : *entries) total += weight;
+  uint64_t prefix = 0;
+  for (const auto& [value, weight] : *entries) {
+    prefix += weight;
+    if (2 * prefix >= total) return value;
+  }
+  return entries->back().first;
+}
+
+/// Weighted median of the projections of a subset of points onto direction
+/// (cos theta, sin theta).
+double ProjectedMedian(std::span<const Point<2>> points,
+                       std::span<const uint64_t> weights,
+                       std::span<const uint32_t> subset, double nx, double ny,
+                       std::vector<std::pair<double, uint64_t>>* scratch) {
+  scratch->clear();
+  for (uint32_t i : subset) {
+    scratch->push_back({nx * points[i][0] + ny * points[i][1], weights[i]});
+  }
+  return WeightedMedian(scratch);
+}
+
+}  // namespace
+
+HamSandwichCut FindHamSandwichCut(std::span<const Point<2>> points,
+                                  std::span<const uint64_t> weights) {
+  KWSC_CHECK(!points.empty());
+  KWSC_CHECK(points.size() == weights.size());
+
+  HamSandwichCut cut;
+
+  // Line 1: vertical cut at the weighted x-median.
+  std::vector<std::pair<double, uint64_t>> scratch;
+  scratch.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    scratch.push_back({points[i][0], weights[i]});
+  }
+  const double x_med = WeightedMedian(&scratch);
+  cut.line1 = {{{1.0, 0.0}}, x_med};
+
+  // Split indices by side of line 1 (points on the line will be pivots in
+  // the index; either side works for locating line 2).
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    (points[i][0] <= x_med ? left : right).push_back(i);
+  }
+  if (left.empty() || right.empty()) {
+    // Degenerate split (all x equal): fall back to a horizontal bisector of
+    // everything, which still makes progress because equal-x points land on
+    // line 1 and become pivots.
+    std::vector<uint32_t> all(points.size());
+    std::iota(all.begin(), all.end(), 0);
+    const double y_med =
+        ProjectedMedian(points, weights, all, 0.0, 1.0, &scratch);
+    cut.line2 = {{{0.0, 1.0}}, y_med};
+    return cut;
+  }
+
+  // Line 2: rotate the direction theta over (0, pi) and bisect on
+  // g(theta) = median_left(theta) - median_right(theta). Because
+  // g(theta + pi) = -g(theta), a sign change exists inside the interval.
+  auto g = [&](double theta, double* c_mid) {
+    const double nx = std::cos(theta);
+    const double ny = std::sin(theta);
+    const double ca = ProjectedMedian(points, weights, left, nx, ny, &scratch);
+    const double cb = ProjectedMedian(points, weights, right, nx, ny, &scratch);
+    if (c_mid != nullptr) *c_mid = 0.5 * (ca + cb);
+    return ca - cb;
+  };
+
+  // theta = pi/2 is the horizontal-normal direction; avoid theta near 0/pi
+  // where line 2 degenerates to another vertical line.
+  double lo = 0.02 * M_PI;
+  double hi = 0.98 * M_PI;
+  double g_lo = g(lo, nullptr);
+  double g_hi = g(hi, nullptr);
+  double theta = 0.5 * M_PI;
+  if (g_lo == 0.0) {
+    theta = lo;
+  } else if (g_hi == 0.0) {
+    theta = hi;
+  } else if ((g_lo < 0) != (g_hi < 0)) {
+    for (int iter = 0; iter < 48; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const double g_mid = g(mid, nullptr);
+      if (g_mid == 0.0) {
+        lo = hi = mid;
+        break;
+      }
+      if ((g_mid < 0) == (g_lo < 0)) {
+        lo = mid;
+        g_lo = g_mid;
+      } else {
+        hi = mid;
+      }
+    }
+    theta = 0.5 * (lo + hi);
+  }
+  // else: no sign change inside the clipped interval (the zero hides in the
+  // excluded near-vertical band). theta = pi/2 then bisects each side only
+  // approximately; the index tolerates unbalanced cuts (see sp_kw.h).
+
+  double c_mid = 0.0;
+  (void)g(theta, &c_mid);
+  cut.line2 = {{{std::cos(theta), std::sin(theta)}}, c_mid};
+  return cut;
+}
+
+}  // namespace kwsc

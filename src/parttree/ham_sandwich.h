@@ -1,0 +1,40 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Weighted ham-sandwich cuts in the plane.
+//
+// The 2-D partition-tree substrate (DESIGN.md, substitution 1) partitions a
+// node's points into four cells using two lines: a vertical line through the
+// weighted x-median, and a second line that simultaneously bisects (by
+// weight) the two halves. The ham-sandwich theorem guarantees such a line
+// exists; we locate it numerically by rotating the direction and bisecting
+// on the difference of the two weighted medians, which flips sign across a
+// half-turn. Any query line can cross at most 3 of the resulting 4 cells —
+// the Willard-style crossing bound the partition-tree index relies on.
+
+#ifndef KWSC_PARTTREE_HAM_SANDWICH_H_
+#define KWSC_PARTTREE_HAM_SANDWICH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "geom/halfspace.h"
+#include "geom/point.h"
+
+namespace kwsc {
+
+/// Two cut lines; each is represented by its halfspace form a.x <= rhs, with
+/// the boundary a.x = rhs being the line itself.
+struct HamSandwichCut {
+  Halfspace<2> line1;  // Vertical weighted-median cut.
+  Halfspace<2> line2;  // Simultaneous bisector of both sides.
+};
+
+/// Computes the cut for `points` with the given per-point weights (documents
+/// sizes, in the framework's verbose-set reading). `points` must be
+/// non-empty and weights positive.
+HamSandwichCut FindHamSandwichCut(std::span<const Point<2>> points,
+                                  std::span<const uint64_t> weights);
+
+}  // namespace kwsc
+
+#endif  // KWSC_PARTTREE_HAM_SANDWICH_H_

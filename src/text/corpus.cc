@@ -1,0 +1,73 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "text/corpus.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/memory.h"
+#include "common/serialize.h"
+
+namespace kwsc {
+
+Corpus::Corpus(std::vector<Document> docs) : docs_(std::move(docs)) {
+  for (ObjectId e = 0; e < docs_.size(); ++e) {
+    const Document& d = docs_[e];
+    KWSC_CHECK_MSG(!d.empty(), "object %u has an empty document", e);
+    total_weight_ += d.size();
+    if (!d.empty()) {
+      vocab_size_ = std::max(vocab_size_, d.keywords().back() + 1);
+    }
+    if (d.size() >= kHashedDocThreshold) {
+      FlatHashSet<KeywordId>& set = hashed_docs_[e];
+      set.Reserve(d.size());
+      for (KeywordId w : d) set.Insert(w);
+    }
+  }
+}
+
+bool Corpus::Contains(ObjectId e, KeywordId w) const {
+  KWSC_DCHECK(e < docs_.size());
+  const FlatHashSet<KeywordId>* set = hashed_docs_.Find(e);
+  if (set != nullptr) return set->Contains(w);
+  return docs_[e].Contains(w);
+}
+
+bool Corpus::ContainsAll(ObjectId e, std::span<const KeywordId> keywords) const {
+  for (KeywordId w : keywords) {
+    if (!Contains(e, w)) return false;
+  }
+  return true;
+}
+
+void Corpus::Save(std::ostream* out) const {
+  OutputArchive ar(out);
+  ar.Magic("KWCP", /*version=*/1);
+  ar.Pod<uint64_t>(docs_.size());
+  for (const Document& d : docs_) ar.Vec(d.keywords());
+}
+
+Corpus Corpus::Load(std::istream* in) {
+  InputArchive ar(in);
+  const uint32_t version = ar.Magic("KWCP");
+  KWSC_CHECK_MSG(version == 1, "unsupported corpus version %u", version);
+  const uint64_t count = ar.Pod<uint64_t>();
+  std::vector<Document> docs;
+  docs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    docs.emplace_back(ar.Vec<KeywordId>());
+  }
+  return Corpus(std::move(docs));
+}
+
+size_t Corpus::MemoryBytes() const {
+  size_t total = VectorBytes(docs_);
+  for (const Document& d : docs_) total += d.MemoryBytes();
+  total += hashed_docs_.MemoryBytes();
+  hashed_docs_.ForEach([&total](ObjectId, const FlatHashSet<KeywordId>& set) {
+    total += set.MemoryBytes();
+  });
+  return total;
+}
+
+}  // namespace kwsc

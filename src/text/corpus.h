@@ -1,0 +1,74 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Corpus: the keyword side of a dataset.
+//
+// Holds one Document per object and precomputes the quantities the paper's
+// definitions use everywhere: the input size N = sum of document sizes
+// (Eq. (2)) and the vocabulary size W. Geometry (points, rectangles) lives
+// next to the Corpus in each index, keyed by ObjectId, so the same corpus can
+// back every problem variant.
+
+#ifndef KWSC_TEXT_CORPUS_H_
+#define KWSC_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+/// A set of query keywords; callers must supply exactly k distinct keywords
+/// to an index built for k.
+using KeywordQuery = std::vector<KeywordId>;
+
+/// Immutable collection of documents, indexed by ObjectId.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Takes ownership of `docs`. Every document must be non-empty.
+  explicit Corpus(std::vector<Document> docs);
+
+  size_t num_objects() const { return docs_.size(); }
+
+  /// The paper's input size N = sum over objects of |e.Doc| (Eq. (2)).
+  uint64_t total_weight() const { return total_weight_; }
+
+  /// Number of distinct keywords W (max keyword id + 1).
+  uint32_t vocab_size() const { return vocab_size_; }
+
+  const Document& doc(ObjectId e) const { return docs_[e]; }
+
+  /// O(1)-ish membership: binary search for short documents, a hash set for
+  /// long ones (the paper's footnote-9 perfect hash table on e.Doc).
+  bool Contains(ObjectId e, KeywordId w) const;
+
+  /// True iff e.Doc contains all of `keywords` — the membership test the
+  /// query algorithms run when visiting pivot objects and materialized lists.
+  bool ContainsAll(ObjectId e, std::span<const KeywordId> keywords) const;
+
+  size_t MemoryBytes() const;
+
+  /// Persists the documents to `out`; Load reconstructs the corpus
+  /// (recomputing weights, vocabulary, and membership accelerators).
+  void Save(std::ostream* out) const;
+  static Corpus Load(std::istream* in);
+
+ private:
+  // Documents at least this long get a hash set for O(1) membership.
+  static constexpr size_t kHashedDocThreshold = 32;
+
+  std::vector<Document> docs_;
+  // Sparse: one entry per long document only.
+  FlatHashMap<ObjectId, FlatHashSet<KeywordId>> hashed_docs_;
+  uint64_t total_weight_ = 0;
+  uint32_t vocab_size_ = 0;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_TEXT_CORPUS_H_

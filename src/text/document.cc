@@ -1,0 +1,30 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "text/document.h"
+
+#include <algorithm>
+
+namespace kwsc {
+
+Document::Document(std::vector<KeywordId> keywords)
+    : keywords_(std::move(keywords)) {
+  std::sort(keywords_.begin(), keywords_.end());
+  keywords_.erase(std::unique(keywords_.begin(), keywords_.end()),
+                  keywords_.end());
+}
+
+Document::Document(std::initializer_list<KeywordId> keywords)
+    : Document(std::vector<KeywordId>(keywords)) {}
+
+bool Document::Contains(KeywordId w) const {
+  return std::binary_search(keywords_.begin(), keywords_.end(), w);
+}
+
+bool Document::ContainsAll(const KeywordId* first, size_t count) const {
+  for (size_t i = 0; i < count; ++i) {
+    if (!Contains(first[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace kwsc

@@ -1,0 +1,102 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/memory.h"
+
+namespace kwsc {
+
+namespace {
+
+// Galloping lower_bound: finds the first position in [begin, end) whose value
+// is >= target, assuming the answer is usually near `begin`.
+const ObjectId* GallopLowerBound(const ObjectId* begin, const ObjectId* end,
+                                 ObjectId target) {
+  size_t step = 1;
+  const ObjectId* probe = begin;
+  while (probe < end && *probe < target) {
+    begin = probe + 1;
+    probe = begin + step;
+    step <<= 1;
+  }
+  if (probe > end) probe = end;
+  return std::lower_bound(begin, probe, target);
+}
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(const Corpus& corpus)
+    : postings_(corpus.vocab_size()) {
+  // Two passes: size, then fill, so each list is allocated exactly once.
+  std::vector<uint32_t> counts(corpus.vocab_size(), 0);
+  for (ObjectId e = 0; e < corpus.num_objects(); ++e) {
+    for (KeywordId w : corpus.doc(e)) ++counts[w];
+  }
+  for (KeywordId w = 0; w < postings_.size(); ++w) {
+    postings_[w].reserve(counts[w]);
+  }
+  for (ObjectId e = 0; e < corpus.num_objects(); ++e) {
+    for (KeywordId w : corpus.doc(e)) postings_[w].push_back(e);
+  }
+  // Object ids are visited in increasing order, so lists are already sorted.
+}
+
+std::span<const ObjectId> InvertedIndex::Postings(KeywordId w) const {
+  if (w >= postings_.size()) return {};
+  return postings_[w];
+}
+
+std::vector<ObjectId> InvertedIndex::IntersectWithLimit(
+    std::span<const KeywordId> keywords, size_t limit) const {
+  std::vector<ObjectId> result;
+  if (keywords.empty() || limit == 0) return result;
+
+  // Order lists by length; iterate the shortest, gallop through the rest.
+  std::vector<std::span<const ObjectId>> lists;
+  lists.reserve(keywords.size());
+  for (KeywordId w : keywords) lists.push_back(Postings(w));
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  if (lists.front().empty()) return result;
+
+  std::vector<const ObjectId*> cursors;
+  cursors.reserve(lists.size());
+  for (const auto& l : lists) cursors.push_back(l.data());
+
+  for (ObjectId candidate : lists.front()) {
+    bool in_all = true;
+    for (size_t i = 1; i < lists.size(); ++i) {
+      const ObjectId* end = lists[i].data() + lists[i].size();
+      cursors[i] = GallopLowerBound(cursors[i], end, candidate);
+      if (cursors[i] == end) return result;  // This and later candidates fail.
+      if (*cursors[i] != candidate) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) {
+      result.push_back(candidate);
+      if (result.size() >= limit) return result;
+    }
+  }
+  return result;
+}
+
+std::vector<ObjectId> InvertedIndex::Intersect(
+    std::span<const KeywordId> keywords) const {
+  return IntersectWithLimit(keywords, static_cast<size_t>(-1));
+}
+
+bool InvertedIndex::IntersectionEmpty(
+    std::span<const KeywordId> keywords) const {
+  return IntersectWithLimit(keywords, 1).empty();
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  return NestedVectorBytes(postings_);
+}
+
+}  // namespace kwsc

@@ -1,0 +1,57 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Inverted index: keyword -> sorted posting list of object ids.
+//
+// This is the classical structure behind "pure" keyword search and the
+// keywords-only naive baseline of Section 1: D(w1,...,wk) is computed by
+// intersecting the k posting lists. Intersection starts from the shortest
+// list and gallops (doubling search) through the others, which is the
+// standard O(min * log(max/min))-flavoured merge; the worst case over all
+// inputs is still Theta(N), which is exactly the drawback the paper's indexes
+// remove.
+
+#ifndef KWSC_TEXT_INVERTED_INDEX_H_
+#define KWSC_TEXT_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+class InvertedIndex {
+ public:
+  /// Builds posting lists for every keyword in [0, corpus.vocab_size()).
+  /// The corpus must outlive the index.
+  explicit InvertedIndex(const Corpus& corpus);
+
+  /// Posting list for `w` (empty if the keyword never occurs).
+  std::span<const ObjectId> Postings(KeywordId w) const;
+
+  /// D(w1,...,wk): ids of all objects whose documents contain every query
+  /// keyword, in increasing id order. Duplicated query keywords are allowed
+  /// (they are harmless for intersection).
+  std::vector<ObjectId> Intersect(std::span<const KeywordId> keywords) const;
+
+  /// True iff the intersection is empty (k-SI emptiness query). Early-exits
+  /// at the first witness.
+  bool IntersectionEmpty(std::span<const KeywordId> keywords) const;
+
+  /// |D(w)| for one keyword.
+  size_t PostingSize(KeywordId w) const { return Postings(w).size(); }
+
+  size_t MemoryBytes() const;
+
+ private:
+  // Runs the galloping intersection, stopping after `limit` results.
+  std::vector<ObjectId> IntersectWithLimit(std::span<const KeywordId> keywords,
+                                           size_t limit) const;
+
+  std::vector<std::vector<ObjectId>> postings_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_TEXT_INVERTED_INDEX_H_

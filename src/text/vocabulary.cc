@@ -1,0 +1,68 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "text/vocabulary.h"
+
+#include "common/macros.h"
+#include "common/memory.h"
+
+namespace kwsc {
+
+uint64_t Vocabulary::Hash(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+KeywordId Vocabulary::Intern(std::string_view keyword) {
+  std::vector<KeywordId>& bucket = index_[Hash(keyword)];
+  for (KeywordId id : bucket) {
+    if (terms_[id] == keyword) return id;
+  }
+  const KeywordId id = static_cast<KeywordId>(terms_.size());
+  terms_.emplace_back(keyword);
+  bucket.push_back(id);
+  return id;
+}
+
+KeywordId Vocabulary::Find(std::string_view keyword) const {
+  const std::vector<KeywordId>* bucket = index_.Find(Hash(keyword));
+  if (bucket == nullptr) return kInvalidKeyword;
+  for (KeywordId id : *bucket) {
+    if (terms_[id] == keyword) return id;
+  }
+  return kInvalidKeyword;
+}
+
+const std::string& Vocabulary::Term(KeywordId id) const {
+  KWSC_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+Document Vocabulary::MakeDocument(
+    std::initializer_list<std::string_view> keywords) {
+  std::vector<KeywordId> ids;
+  ids.reserve(keywords.size());
+  for (std::string_view kw : keywords) ids.push_back(Intern(kw));
+  return Document(std::move(ids));
+}
+
+Document Vocabulary::MakeDocument(const std::vector<std::string>& keywords) {
+  std::vector<KeywordId> ids;
+  ids.reserve(keywords.size());
+  for (const std::string& kw : keywords) ids.push_back(Intern(kw));
+  return Document(std::move(ids));
+}
+
+size_t Vocabulary::MemoryBytes() const {
+  size_t total = VectorBytes(terms_) + index_.MemoryBytes();
+  for (const std::string& term : terms_) total += term.capacity();
+  index_.ForEach([&total](uint64_t, const std::vector<KeywordId>& bucket) {
+    total += VectorBytes(bucket);
+  });
+  return total;
+}
+
+}  // namespace kwsc

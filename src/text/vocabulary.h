@@ -1,0 +1,57 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// String vocabulary: the bridge between real text keywords and the integer
+// KeywordIds of the paper's model ("w.l.o.g., each keyword is treated as an
+// integer in [1, W]", Section 3.2). Interns strings to dense ids; lookups
+// are O(1) expected. Applications tokenize however they like and intern the
+// tokens here before building documents.
+
+#ifndef KWSC_TEXT_VOCABULARY_H_
+#define KWSC_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id for `keyword`, interning it if new. Ids are dense and
+  /// assigned in first-seen order.
+  KeywordId Intern(std::string_view keyword);
+
+  /// Id of `keyword` if already interned, else kInvalidKeyword.
+  static constexpr KeywordId kInvalidKeyword = static_cast<KeywordId>(-1);
+  KeywordId Find(std::string_view keyword) const;
+
+  /// The string for an id (must be a valid interned id).
+  const std::string& Term(KeywordId id) const;
+
+  size_t size() const { return terms_.size(); }
+
+  /// Interns every string and returns the Document over their ids.
+  Document MakeDocument(std::initializer_list<std::string_view> keywords);
+  Document MakeDocument(const std::vector<std::string>& keywords);
+
+  size_t MemoryBytes() const;
+
+ private:
+  // 64-bit FNV-1a; collisions are resolved by comparing the stored strings
+  // of every id in the bucket list for this hash.
+  static uint64_t Hash(std::string_view s);
+
+  std::vector<std::string> terms_;
+  // hash -> ids with that hash (collision chains are nearly always length
+  // one; correctness never depends on hash uniqueness).
+  FlatHashMap<uint64_t, std::vector<KeywordId>> index_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_TEXT_VOCABULARY_H_

@@ -1,0 +1,216 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Synthetic workload generation for tests and benchmarks.
+//
+// The paper has no empirical section, so EXPERIMENTS.md defines the
+// workloads: Zipf-distributed keyword documents (the skew that makes the
+// large/small classification bite), uniform and clustered point clouds, and
+// query generators with controllable selectivity and controllable expected
+// output size. Everything is deterministic given the Rng seed.
+
+#ifndef KWSC_WORKLOAD_GENERATOR_H_
+#define KWSC_WORKLOAD_GENERATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "geom/box.h"
+#include "geom/halfspace.h"
+#include "geom/point.h"
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+/// Parameters for the document side of a dataset.
+struct CorpusSpec {
+  uint32_t num_objects = 1000;
+  uint32_t vocab_size = 200;
+  double zipf_skew = 1.0;   // 0 = uniform keyword popularity.
+  uint32_t min_doc_len = 2;
+  uint32_t max_doc_len = 8;
+};
+
+/// Samples one document per object: length uniform in [min,max], keywords
+/// Zipf(vocab, skew) without replacement.
+Corpus GenerateCorpus(const CorpusSpec& spec, Rng* rng);
+
+enum class PointDistribution {
+  kUniform,    // i.i.d. uniform over the unit cube.
+  kClustered,  // Gaussian blobs around sqrt(n) uniform centers.
+  kDiagonal,   // Correlated: spread along the main diagonal.
+};
+
+/// How query keywords are chosen.
+enum class KeywordPick {
+  kFrequent,     // Among the most popular keywords: large posting lists.
+  kUniform,      // Uniform over the vocabulary: usually small lists.
+  kCooccurring,  // k keywords from one object's document: OUT >= 1 and
+                 // realistic co-occurrence structure.
+};
+
+/// k distinct query keywords according to `pick`. `frequent_pool` bounds the
+/// popularity window for kFrequent (top `frequent_pool` keywords by rank).
+std::vector<KeywordId> PickQueryKeywords(const Corpus& corpus, int k,
+                                         KeywordPick pick, Rng* rng,
+                                         uint32_t frequent_pool = 16);
+
+template <int D, typename Scalar = double>
+std::vector<Point<D, Scalar>> GeneratePoints(size_t n, PointDistribution dist,
+                                             Rng* rng, double lo = 0.0,
+                                             double hi = 1.0) {
+  std::vector<Point<D, Scalar>> points(n);
+  const double span = hi - lo;
+  switch (dist) {
+    case PointDistribution::kUniform:
+      for (auto& p : points) {
+        for (int dim = 0; dim < D; ++dim) {
+          p[dim] = static_cast<Scalar>(rng->UniformDouble(lo, hi));
+        }
+      }
+      break;
+    case PointDistribution::kClustered: {
+      const size_t num_clusters =
+          std::max<size_t>(1, static_cast<size_t>(std::sqrt(double(n))));
+      std::vector<Point<D, double>> centers(num_clusters);
+      for (auto& c : centers) {
+        for (int dim = 0; dim < D; ++dim) c[dim] = rng->UniformDouble(lo, hi);
+      }
+      const double sigma = 0.02 * span;
+      for (auto& p : points) {
+        const auto& c = centers[rng->NextBounded(num_clusters)];
+        for (int dim = 0; dim < D; ++dim) {
+          double v = c[dim] + sigma * rng->NextGaussian();
+          v = std::clamp(v, lo, hi);
+          p[dim] = static_cast<Scalar>(v);
+        }
+      }
+      break;
+    }
+    case PointDistribution::kDiagonal: {
+      const double sigma = 0.05 * span;
+      for (auto& p : points) {
+        const double base = rng->UniformDouble(lo, hi);
+        for (int dim = 0; dim < D; ++dim) {
+          double v = base + sigma * rng->NextGaussian();
+          v = std::clamp(v, lo, hi);
+          p[dim] = static_cast<Scalar>(v);
+        }
+      }
+      break;
+    }
+  }
+  return points;
+}
+
+/// Integer-grid points for L2NN-KW (Corollary 7's N^d universe).
+template <int D>
+std::vector<IntPoint<D>> GenerateIntPoints(size_t n, PointDistribution dist,
+                                           Rng* rng, int64_t max_coord) {
+  auto reals = GeneratePoints<D, double>(n, dist, rng, 0.0, 1.0);
+  std::vector<IntPoint<D>> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int dim = 0; dim < D; ++dim) {
+      points[i][dim] = static_cast<int64_t>(reals[i][dim] *
+                                            static_cast<double>(max_coord));
+    }
+  }
+  return points;
+}
+
+/// A query box centered on a random data point whose side is chosen so the
+/// expected fraction of points covered is `selectivity` (exact for uniform
+/// data over [lo, hi]^D).
+template <int D, typename Scalar>
+Box<D, Scalar> GenerateBoxQuery(std::span<const Point<D, Scalar>> points,
+                                double selectivity, Rng* rng, double lo = 0.0,
+                                double hi = 1.0) {
+  const auto& center = points[rng->NextBounded(points.size())];
+  const double side = (hi - lo) * std::pow(selectivity, 1.0 / D);
+  Box<D, Scalar> box;
+  for (int dim = 0; dim < D; ++dim) {
+    box.lo[dim] = static_cast<Scalar>(static_cast<double>(center[dim]) -
+                                      side / 2);
+    box.hi[dim] = static_cast<Scalar>(static_cast<double>(center[dim]) +
+                                      side / 2);
+  }
+  return box;
+}
+
+/// A halfspace in a uniformly random direction whose offset is the exact
+/// `selectivity` quantile of the data projections, so it admits that
+/// fraction of the points.
+template <int D, typename Scalar>
+Halfspace<D, Scalar> GenerateHalfspaceQuery(
+    std::span<const Point<D, Scalar>> points, double selectivity, Rng* rng) {
+  Halfspace<D, Scalar> h;
+  double norm = 0.0;
+  for (int dim = 0; dim < D; ++dim) {
+    h.coeffs[dim] = rng->NextGaussian();
+    norm += h.coeffs[dim] * h.coeffs[dim];
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (int dim = 0; dim < D; ++dim) h.coeffs[dim] /= norm;
+  std::vector<double> projections;
+  projections.reserve(points.size());
+  for (const auto& p : points) projections.push_back(h.Eval(p));
+  const size_t rank = static_cast<size_t>(
+      std::clamp(selectivity, 0.0, 1.0) * (points.size() - 1));
+  std::nth_element(projections.begin(), projections.begin() + rank,
+                   projections.end());
+  h.rhs = projections[rank];
+  return h;
+}
+
+/// A ball around a random data point whose squared radius is the exact
+/// `selectivity` quantile of distances from that center.
+template <int D, typename Scalar>
+std::pair<Point<D, Scalar>, double> GenerateBallQuery(
+    std::span<const Point<D, Scalar>> points, double selectivity, Rng* rng) {
+  const auto& center = points[rng->NextBounded(points.size())];
+  std::vector<double> dists;
+  dists.reserve(points.size());
+  for (const auto& p : points) {
+    dists.push_back(static_cast<double>(L2DistanceSquared(p, center)));
+  }
+  const size_t rank = static_cast<size_t>(
+      std::clamp(selectivity, 0.0, 1.0) * (points.size() - 1));
+  std::nth_element(dists.begin(), dists.begin() + rank, dists.end());
+  return {center, dists[rank]};
+}
+
+/// Random data rectangles for RR-KW: centers by `dist`, extents exponential
+/// with mean `mean_extent` per side.
+template <int D, typename Scalar = double>
+std::vector<Box<D, Scalar>> GenerateRects(size_t n, PointDistribution dist,
+                                          double mean_extent, Rng* rng) {
+  auto centers = GeneratePoints<D, Scalar>(n, dist, rng);
+  std::vector<Box<D, Scalar>> rects(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int dim = 0; dim < D; ++dim) {
+      const double extent =
+          -mean_extent * std::log(std::max(rng->NextDouble(), 1e-12));
+      rects[i].lo[dim] = static_cast<Scalar>(
+          static_cast<double>(centers[i][dim]) - extent / 2);
+      rects[i].hi[dim] = static_cast<Scalar>(
+          static_cast<double>(centers[i][dim]) + extent / 2);
+    }
+  }
+  return rects;
+}
+
+/// k-SI instance: m sets over a universe of `universe` integers, set sizes
+/// Zipf-ish (a few large, many small), with a planted overlap fraction so
+/// reporting queries have tunable OUT.
+std::vector<std::vector<int64_t>> GenerateKsiSets(size_t m, size_t universe,
+                                                  double avg_set_size,
+                                                  Rng* rng);
+
+}  // namespace kwsc
+
+#endif  // KWSC_WORKLOAD_GENERATOR_H_

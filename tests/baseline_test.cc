@@ -1,0 +1,156 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the two naive baselines of Section 1 — they must be *correct*
+// (they are the reference competitors in every benchmark) and their
+// candidate accounting must reflect their respective blow-ups.
+
+#include <gtest/gtest.h>
+
+#include "baseline/keywords_only.h"
+#include "baseline/structured_only.h"
+#include "common/random.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+using testing::BruteBall;
+using testing::BruteBox;
+using testing::BruteConvex;
+using testing::BruteNearest;
+using testing::BruteRects;
+using testing::DistanceProfile;
+using testing::Sorted;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(31337);
+    CorpusSpec spec;
+    spec.num_objects = 800;
+    spec.vocab_size = 60;
+    corpus_ = GenerateCorpus(spec, &rng);
+    pts_ = GeneratePoints<2>(800, PointDistribution::kClustered, &rng);
+    rng_ = Rng(424242);
+  }
+
+  std::span<const Point<2>> pts() const { return pts_; }
+
+  Corpus corpus_;
+  std::vector<Point<2>> pts_;
+  Rng rng_ = Rng(0);
+};
+
+TEST_F(BaselineFixture, StructuredOnlyBoxMatchesBruteForce) {
+  StructuredOnlyBaseline<2> baseline(pts(), &corpus_);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto q = GenerateBoxQuery(pts(), 0.1, &rng_);
+    auto kws = PickQueryKeywords(corpus_, 2, KeywordPick::kCooccurring, &rng_);
+    BaselineStats stats;
+    auto got = baseline.QueryBox(q, kws, &stats);
+    auto expected = BruteBox(pts(), corpus_, q, kws);
+    EXPECT_EQ(Sorted(got), expected);
+    EXPECT_EQ(stats.results, expected.size());
+    // Structured-only examines every point in the box regardless of
+    // keywords.
+    EXPECT_GE(stats.candidates, expected.size());
+  }
+}
+
+TEST_F(BaselineFixture, KeywordsOnlyBoxMatchesBruteForce) {
+  KeywordsOnlyBaseline<2> baseline(pts(), &corpus_);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto q = GenerateBoxQuery(pts(), 0.1, &rng_);
+    auto kws = PickQueryKeywords(corpus_, 2, KeywordPick::kFrequent, &rng_);
+    auto got = baseline.QueryBox(q, kws);
+    EXPECT_EQ(Sorted(got), BruteBox(pts(), corpus_, q, kws));
+  }
+}
+
+TEST_F(BaselineFixture, ConvexQueriesMatch) {
+  StructuredOnlyBaseline<2> structured(pts(), &corpus_);
+  KeywordsOnlyBaseline<2> keywords(pts(), &corpus_);
+  for (int trial = 0; trial < 10; ++trial) {
+    ConvexQuery<2> q;
+    q.constraints.push_back(
+        GenerateHalfspaceQuery(pts(), rng_.UniformDouble(0.2, 0.8), &rng_));
+    q.constraints.push_back(
+        GenerateHalfspaceQuery(pts(), rng_.UniformDouble(0.2, 0.8), &rng_));
+    auto kws = PickQueryKeywords(corpus_, 2, KeywordPick::kCooccurring, &rng_);
+    auto expected = BruteConvex(pts(), corpus_, q, kws);
+    EXPECT_EQ(Sorted(structured.QueryConvex(q, kws)), expected);
+    EXPECT_EQ(Sorted(keywords.QueryConvex(q, kws)), expected);
+  }
+}
+
+TEST_F(BaselineFixture, BallQueriesMatch) {
+  StructuredOnlyBaseline<2> structured(pts(), &corpus_);
+  KeywordsOnlyBaseline<2> keywords(pts(), &corpus_);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto [center, radius_sq] = GenerateBallQuery(pts(), 0.1, &rng_);
+    auto kws = PickQueryKeywords(corpus_, 2, KeywordPick::kUniform, &rng_);
+    auto expected = BruteBall(pts(), corpus_, center, radius_sq, kws);
+    EXPECT_EQ(Sorted(structured.QueryBall(center, radius_sq, kws)), expected);
+    EXPECT_EQ(Sorted(keywords.QueryBall(center, radius_sq, kws)), expected);
+  }
+}
+
+TEST_F(BaselineFixture, NearestQueriesMatchByDistance) {
+  StructuredOnlyBaseline<2> structured(pts(), &corpus_);
+  KeywordsOnlyBaseline<2> keywords(pts(), &corpus_);
+  auto linf = [](const Point<2>& a, const Point<2>& b) {
+    return LInfDistance(a, b);
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    Point<2> q{{rng_.NextDouble(), rng_.NextDouble()}};
+    auto kws = PickQueryKeywords(corpus_, 2, KeywordPick::kCooccurring, &rng_);
+    const uint64_t t = 1 + rng_.NextBounded(8);
+    auto expected = BruteNearest(pts(), corpus_, q, t, kws, linf);
+    auto got_s = structured.QueryNearestLinf(q, t, kws);
+    auto got_k = keywords.QueryNearestLinf(q, t, kws);
+    ASSERT_EQ(got_s.size(), expected.size());
+    ASSERT_EQ(got_k.size(), expected.size());
+    EXPECT_EQ(DistanceProfile(pts(), q, got_s, linf),
+              DistanceProfile(pts(), q, expected, linf));
+    EXPECT_EQ(DistanceProfile(pts(), q, got_k, linf),
+              DistanceProfile(pts(), q, expected, linf));
+  }
+}
+
+TEST_F(BaselineFixture, KeywordsOnlyCandidateBlowUpIsVisible) {
+  // The pathology of Section 1: frequent keywords + tiny box = huge
+  // candidate set, tiny result.
+  KeywordsOnlyBaseline<2> baseline(pts(), &corpus_);
+  auto kws = PickQueryKeywords(corpus_, 2, KeywordPick::kFrequent, &rng_,
+                               /*frequent_pool=*/3);
+  Box<2> tiny{{{0.5, 0.5}}, {{0.5001, 0.5001}}};
+  BaselineStats stats;
+  auto got = baseline.QueryBox(tiny, kws, &stats);
+  EXPECT_GT(stats.candidates, 20u);
+  EXPECT_LE(got.size(), 1u);
+}
+
+TEST(KeywordsOnlyRect, MatchesBruteForce) {
+  Rng rng(999);
+  CorpusSpec spec;
+  spec.num_objects = 400;
+  spec.vocab_size = 40;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto rects = GenerateRects<2>(400, PointDistribution::kUniform, 0.05, &rng);
+  KeywordsOnlyRectBaseline<2> baseline(rects, &corpus);
+  for (int trial = 0; trial < 10; ++trial) {
+    Box<2> q;
+    for (int dim = 0; dim < 2; ++dim) {
+      const double c = rng.NextDouble();
+      q.lo[dim] = c - 0.1;
+      q.hi[dim] = c + 0.1;
+    }
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng);
+    EXPECT_EQ(Sorted(baseline.Query(q, kws)),
+              BruteRects(std::span<const Box<2>>(rects), corpus, q, kws));
+  }
+}
+
+}  // namespace
+}  // namespace kwsc

@@ -1,0 +1,238 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for src/common: PRNG, Zipf sampling, hash containers, operation
+// budgets, and memory formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/flat_hash.h"
+#include "common/memory.h"
+#include "common/ops_budget.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace kwsc {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(Rng, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveEndpoints) {
+  Rng rng(13);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 4096; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (uint64_t i = 0; i < 100; ++i) total += zipf.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SkewOrdersProbabilities) {
+  ZipfSampler zipf(50, 1.2);
+  for (uint64_t i = 1; i < 50; ++i) {
+    EXPECT_GT(zipf.Probability(i - 1), zipf.Probability(i));
+  }
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.Probability(i), 0.1, 1e-9);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequencyMatchesProbability) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, zipf.Probability(i), 0.01);
+  }
+}
+
+TEST(FlatHashMap, InsertFindRoundTrip) {
+  FlatHashMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 1000; ++i) map[i * 7919] = static_cast<int>(i);
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const int* v = map.Find(i * 7919);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int>(i));
+  }
+  EXPECT_EQ(map.Find(1), nullptr);
+}
+
+TEST(FlatHashMap, MatchesUnorderedMapUnderRandomOps) {
+  FlatHashMap<uint32_t, uint32_t> map;
+  std::unordered_map<uint32_t, uint32_t> ref;
+  Rng rng(29);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.NextBounded(3000));
+    uint32_t value = static_cast<uint32_t>(rng.Next());
+    map[key] = value;
+    ref[key] = value;
+  }
+  EXPECT_EQ(map.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const uint32_t* found = map.Find(k);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, v);
+  }
+}
+
+TEST(FlatHashMap, ClearKeepsCapacityAndEmpties) {
+  FlatHashMap<uint32_t, int> map;
+  for (uint32_t i = 0; i < 100; ++i) map[i] = 1;
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map[3] = 7;
+  EXPECT_EQ(*map.Find(3), 7);
+}
+
+TEST(FlatHashMap, ForEachVisitsEverything) {
+  FlatHashMap<uint32_t, uint32_t> map;
+  for (uint32_t i = 0; i < 257; ++i) map[i] = i * 2;
+  uint64_t key_sum = 0;
+  uint64_t value_sum = 0;
+  map.ForEach([&](uint32_t k, uint32_t v) {
+    key_sum += k;
+    value_sum += v;
+  });
+  EXPECT_EQ(key_sum, 257u * 256u / 2);
+  EXPECT_EQ(value_sum, 257u * 256u);
+}
+
+TEST(FlatHashSet, InsertContains) {
+  FlatHashSet<uint64_t> set;
+  EXPECT_TRUE(set.Insert(10));
+  EXPECT_FALSE(set.Insert(10));
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(11));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatHashSet, MatchesUnorderedSet) {
+  FlatHashSet<uint64_t> set;
+  std::unordered_set<uint64_t> ref;
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextBounded(4000);
+    EXPECT_EQ(set.Insert(v), ref.insert(v).second);
+  }
+  EXPECT_EQ(set.size(), ref.size());
+  for (uint64_t v = 0; v < 4000; ++v) {
+    EXPECT_EQ(set.Contains(v), ref.count(v) > 0);
+  }
+}
+
+TEST(OpsBudget, UnlimitedByDefault) {
+  OpsBudget budget;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(budget.Charge(1000000));
+  EXPECT_FALSE(budget.Exhausted());
+}
+
+TEST(OpsBudget, ExhaustsAtLimit) {
+  OpsBudget budget(10);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(budget.Charge());
+  EXPECT_FALSE(budget.Charge());
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(budget.spent(), 11u);
+}
+
+TEST(OpsBudget, BulkCharge) {
+  OpsBudget budget(100);
+  EXPECT_TRUE(budget.Charge(100));
+  EXPECT_FALSE(budget.Charge(1));
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(VectorBytes, CountsCapacity) {
+  std::vector<int> v;
+  v.reserve(100);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(int));
+}
+
+}  // namespace
+}  // namespace kwsc

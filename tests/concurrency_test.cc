@@ -1,0 +1,94 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Concurrency contract: every index is immutable after construction, so any
+// number of threads may query the same index simultaneously. These tests
+// hammer one index from several threads and check every thread sees exactly
+// the single-threaded answers (run them under TSan to verify the
+// no-data-race claim mechanically).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "core/orp_kw.h"
+#include "core/sp_kw_hs.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+TEST(Concurrency, ParallelOrpQueriesSeeIdenticalResults) {
+  Rng rng(4321);
+  CorpusSpec spec;
+  spec.num_objects = 3000;
+  spec.vocab_size = 100;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(3000, PointDistribution::kClustered, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  // Fixed query batch with precomputed single-threaded answers.
+  constexpr int kBatch = 24;
+  std::vector<Box<2>> boxes;
+  std::vector<std::vector<KeywordId>> kws;
+  std::vector<std::vector<ObjectId>> expected;
+  for (int i = 0; i < kBatch; ++i) {
+    boxes.push_back(GenerateBoxQuery(std::span<const Point<2>>(pts),
+                                     rng.UniformDouble(0.01, 0.5), &rng));
+    kws.push_back(
+        PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng));
+    expected.push_back(index.Query(boxes[i], kws[i]));
+  }
+
+  std::atomic<int> mismatches{0};
+  auto worker = [&](int seed) {
+    Rng local(seed);
+    for (int iter = 0; iter < 200; ++iter) {
+      const int i = static_cast<int>(local.NextBounded(kBatch));
+      if (index.Query(boxes[i], kws[i]) != expected[i]) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) threads.emplace_back(worker, 100 + t);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Concurrency, ParallelPartitionTreeQueries) {
+  Rng rng(4322);
+  CorpusSpec spec;
+  spec.num_objects = 1500;
+  spec.vocab_size = 60;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(1500, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  SpKwHsIndex index(pts, &corpus, opt);
+
+  ConvexQuery<2> q;
+  q.constraints.push_back(
+      GenerateHalfspaceQuery(std::span<const Point<2>>(pts), 0.4, &rng));
+  auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng);
+  const auto expected = index.Query(q, kws);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 100; ++iter) {
+        if (index.Query(q, kws) != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace kwsc

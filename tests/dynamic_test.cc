@@ -1,0 +1,104 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the logarithmic-method dynamization of the ORP-KW index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/dynamic_orp_kw.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+using testing::Sorted;
+
+TEST(DynamicOrpKw, InterleavedInsertAndQueryMatchesBruteForce) {
+  Rng rng(611);
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/32);
+
+  std::vector<Point<2>> inserted_points;
+  std::vector<Document> inserted_docs;
+  CorpusSpec spec;
+  spec.num_objects = 1;  // Generator used per object below.
+  for (int step = 0; step < 2000; ++step) {
+    // Insert one random object.
+    std::vector<KeywordId> kws;
+    const int len = 2 + static_cast<int>(rng.NextBounded(4));
+    while (static_cast<int>(kws.size()) < len) {
+      KeywordId w = static_cast<KeywordId>(rng.NextBounded(30));
+      if (std::find(kws.begin(), kws.end(), w) == kws.end()) kws.push_back(w);
+    }
+    Point<2> p{{rng.NextDouble(), rng.NextDouble()}};
+    Document doc(kws);
+    const ObjectId id = dynamic.Insert(p, doc);
+    EXPECT_EQ(id, static_cast<ObjectId>(step));
+    inserted_points.push_back(p);
+    inserted_docs.push_back(std::move(doc));
+
+    if (step % 97 != 0) continue;
+    // Query against brute force over everything inserted so far.
+    Box<2> q;
+    for (int dim = 0; dim < 2; ++dim) {
+      double a = rng.NextDouble();
+      double b = rng.NextDouble();
+      q.lo[dim] = std::min(a, b);
+      q.hi[dim] = std::max(a, b);
+    }
+    std::vector<KeywordId> query_kws = {
+        static_cast<KeywordId>(rng.NextBounded(15)),
+        static_cast<KeywordId>(15 + rng.NextBounded(15))};
+    std::vector<ObjectId> expected;
+    for (ObjectId e = 0; e < inserted_points.size(); ++e) {
+      if (q.Contains(inserted_points[e]) &&
+          inserted_docs[e].ContainsAll(query_kws.data(), query_kws.size())) {
+        expected.push_back(e);
+      }
+    }
+    EXPECT_EQ(Sorted(dynamic.Query(q, query_kws)), expected)
+        << "step " << step;
+  }
+}
+
+TEST(DynamicOrpKw, BinaryCounterLevelShape) {
+  FrameworkOptions opt;
+  opt.k = 2;
+  const size_t buffer = 16;
+  DynamicOrpKwIndex<2> dynamic(opt, buffer);
+  Rng rng(612);
+  for (size_t i = 0; i < 16 * buffer; ++i) {
+    dynamic.Insert({{rng.NextDouble(), rng.NextDouble()}},
+                   Document{static_cast<KeywordId>(i % 5),
+                            static_cast<KeywordId>(5 + i % 3)});
+  }
+  // 16 buffers of carries = binary counter value 16 = one level at slot 4.
+  EXPECT_EQ(dynamic.num_objects(), 16 * buffer);
+  EXPECT_LE(dynamic.ActiveLevels(), 5u);  // log2(16) + 1.
+}
+
+TEST(DynamicOrpKw, QueryBeforeAnyCarryUsesBufferOnly) {
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/100);
+  dynamic.Insert({{0.5, 0.5}}, Document{1, 2});
+  dynamic.Insert({{0.9, 0.9}}, Document{1, 3});
+  EXPECT_EQ(dynamic.ActiveLevels(), 0u);
+  std::vector<KeywordId> kws = {1, 2};
+  auto got = dynamic.Query({{{0, 0}}, {{1, 1}}}, kws);
+  EXPECT_EQ(got, (std::vector<ObjectId>{0}));
+}
+
+TEST(DynamicOrpKwDeath, EmptyDocumentRejected) {
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt);
+  EXPECT_DEATH(dynamic.Insert({{0, 0}}, Document{}), "non-empty");
+}
+
+}  // namespace
+}  // namespace kwsc

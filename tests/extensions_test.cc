@@ -1,0 +1,230 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the extension surfaces: simplex query construction (SP-KW's
+// literal query form), the Appendix-G doubling reduction, the approximate-L2
+// reading of Corollary 4, and the emptiness/count entry points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/appendix_g.h"
+#include "core/nn_l2_approx.h"
+#include "core/orp_kw.h"
+#include "core/sp_kw_hs.h"
+#include "geom/simplex.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+using testing::BruteBox;
+using testing::Sorted;
+
+TEST(Simplex, TriangleMembershipMatchesBarycentricSampling) {
+  Rng rng(808);
+  for (int trial = 0; trial < 100; ++trial) {
+    Point<2> a{{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)}};
+    Point<2> b{{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)}};
+    Point<2> c{{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)}};
+    const double area2 =
+        (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+    if (std::fabs(area2) < 1e-6) continue;
+    auto q = TriangleQuery(a, b, c);
+    ASSERT_EQ(q.constraints.size(), 3u);
+    // Points sampled inside by convex combination must satisfy; the
+    // reflection of the centroid through a vertex must not.
+    for (int s = 0; s < 10; ++s) {
+      double u = rng.NextDouble();
+      double v = rng.UniformDouble(0, 1 - u);
+      double w = 1 - u - v;
+      Point<2> inside{{u * a[0] + v * b[0] + w * c[0],
+                       u * a[1] + v * b[1] + w * c[1]}};
+      EXPECT_TRUE(q.Satisfies(inside));
+    }
+    Point<2> centroid{{(a[0] + b[0] + c[0]) / 3, (a[1] + b[1] + c[1]) / 3}};
+    Point<2> outside{{2 * a[0] - centroid[0], 2 * a[1] - centroid[1]}};
+    EXPECT_FALSE(q.Satisfies(outside));
+  }
+}
+
+TEST(Simplex, TriangleOrientationIrrelevant) {
+  Point<2> a{{0, 0}};
+  Point<2> b{{1, 0}};
+  Point<2> c{{0, 1}};
+  auto ccw = TriangleQuery(a, b, c);
+  auto cw = TriangleQuery(a, c, b);
+  Point<2> inside{{0.25, 0.25}};
+  EXPECT_TRUE(ccw.Satisfies(inside));
+  EXPECT_TRUE(cw.Satisfies(inside));
+}
+
+TEST(SimplexDeath, DegenerateTriangleRejected) {
+  Point<2> a{{0, 0}};
+  Point<2> b{{1, 1}};
+  Point<2> c{{2, 2}};
+  EXPECT_DEATH(TriangleQuery(a, b, c), "degenerate");
+}
+
+TEST(Simplex, TetrahedronMembership) {
+  Rng rng(809);
+  Point<3> a{{0, 0, 0}};
+  Point<3> b{{1, 0, 0}};
+  Point<3> c{{0, 1, 0}};
+  Point<3> d{{0, 0, 1}};
+  auto q = TetrahedronQuery(a, b, c, d);
+  ASSERT_EQ(q.constraints.size(), 4u);
+  // Convex combinations are inside.
+  for (int s = 0; s < 50; ++s) {
+    double w[4];
+    double total = 0;
+    for (double& x : w) total += (x = rng.NextDouble() + 1e-3);
+    Point<3> p{{}};
+    const Point<3>* v[4] = {&a, &b, &c, &d};
+    for (int i = 0; i < 4; ++i) {
+      for (int dim = 0; dim < 3; ++dim) p[dim] += (w[i] / total) * (*v[i])[dim];
+    }
+    EXPECT_TRUE(q.Satisfies(p));
+  }
+  EXPECT_FALSE(q.Satisfies({{1, 1, 1}}));
+  EXPECT_FALSE(q.Satisfies({{-0.1, 0.2, 0.2}}));
+  // All four vertices are on the boundary (satisfy with equality).
+  EXPECT_TRUE(q.Satisfies(a));
+  EXPECT_TRUE(q.Satisfies(d));
+}
+
+TEST(Simplex, TriangleQueryThroughSpKwIndex) {
+  Rng rng(810);
+  CorpusSpec spec;
+  spec.num_objects = 500;
+  spec.vocab_size = 40;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(500, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  SpKwHsIndex index(pts, &corpus, opt);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = TriangleQuery(
+        {{rng.NextDouble(), rng.NextDouble()}},
+        {{rng.NextDouble(), rng.NextDouble()}},
+        {{rng.NextDouble(), rng.NextDouble()}});
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng);
+    EXPECT_EQ(Sorted(index.Query(q, kws)),
+              testing::BruteConvex(std::span<const Point<2>>(pts), corpus, q,
+                                   kws));
+  }
+}
+
+TEST(AppendixG, DoublingReportsWholeIntersection) {
+  Rng rng(811);
+  CorpusSpec spec;
+  spec.num_objects = 600;
+  spec.vocab_size = 30;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(600, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  LinfNnIndex<2> nn(pts, &corpus, opt);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto kws = PickQueryKeywords(
+        corpus, 2,
+        trial % 2 == 0 ? KeywordPick::kFrequent : KeywordPick::kUniform, &rng);
+    int rounds = 0;
+    auto got = ReportViaNnDoubling(nn, Point<2>{{0.5, 0.5}}, kws, &rounds);
+    std::vector<ObjectId> expected;
+    for (ObjectId e = 0; e < corpus.num_objects(); ++e) {
+      if (corpus.ContainsAll(e, kws)) expected.push_back(e);
+    }
+    EXPECT_EQ(Sorted(got), expected);
+    // Theta(log(1 + OUT)) rounds: t doubles from 1 past OUT.
+    const int expected_rounds =
+        static_cast<int>(std::log2(std::max<size_t>(expected.size(), 1))) + 2;
+    EXPECT_LE(rounds, expected_rounds + 1);
+  }
+}
+
+TEST(AppendixG, EmptyIntersectionStopsAfterOneRound) {
+  Corpus corpus({Document{0}, Document{1}});
+  std::vector<Point<2>> pts = {{{0, 0}}, {{1, 1}}};
+  FrameworkOptions opt;
+  opt.k = 2;
+  LinfNnIndex<2> nn(pts, &corpus, opt);
+  std::vector<KeywordId> kws = {0, 1};
+  int rounds = 0;
+  auto got = ReportViaNnDoubling(nn, Point<2>{{0, 0}}, kws, &rounds);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(rounds, 1);
+}
+
+TEST(ApproxL2Nn, WithinSqrtDOfExact) {
+  Rng rng(812);
+  CorpusSpec spec;
+  spec.num_objects = 800;
+  spec.vocab_size = 40;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(800, PointDistribution::kClustered, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  ApproxL2NnIndex<2> approx(pts, &corpus, opt);
+  auto l2 = [](const Point<2>& a, const Point<2>& b) {
+    return std::sqrt(L2DistanceSquared(a, b));
+  };
+  for (int trial = 0; trial < 15; ++trial) {
+    Point<2> q{{rng.NextDouble(), rng.NextDouble()}};
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng);
+    const uint64_t t = 1 + rng.NextBounded(8);
+    auto got = approx.Query(q, t, kws);
+    auto exact = testing::BruteNearest(std::span<const Point<2>>(pts), corpus,
+                                       q, t, kws, l2);
+    ASSERT_EQ(got.size(), exact.size());
+    if (exact.empty()) continue;
+    const double r_exact = l2(pts[exact.back()], q);
+    for (ObjectId e : got) {
+      EXPECT_LE(l2(pts[e], q), std::sqrt(2.0) * r_exact + 1e-12);
+    }
+  }
+}
+
+TEST(OrpKw, EmptyQueryDevice) {
+  Rng rng(813);
+  CorpusSpec spec;
+  spec.num_objects = 1000;
+  spec.vocab_size = 40;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(1000, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto q = GenerateBoxQuery(std::span<const Point<2>>(pts),
+                              rng.UniformDouble(0.001, 0.5), &rng);
+    auto kws = PickQueryKeywords(
+        corpus, 2,
+        trial % 2 == 0 ? KeywordPick::kFrequent : KeywordPick::kUniform, &rng);
+    const bool truly_empty =
+        BruteBox(std::span<const Point<2>>(pts), corpus, q, kws).empty();
+    EXPECT_EQ(index.Empty(q, kws), truly_empty) << "trial " << trial;
+  }
+}
+
+TEST(OrpKw, CountMatchesQuerySize) {
+  Rng rng(814);
+  CorpusSpec spec;
+  spec.num_objects = 500;
+  spec.vocab_size = 30;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(500, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto q = GenerateBoxQuery(std::span<const Point<2>>(pts), 0.3, &rng);
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng);
+    EXPECT_EQ(index.Count(q, kws), index.Query(q, kws).size());
+  }
+}
+
+}  // namespace
+}  // namespace kwsc

@@ -1,0 +1,87 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the centered interval tree (structured-only baseline for
+// temporal keyword search).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "kdtree/interval_tree.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(IntervalTree, EmptyAndSingle) {
+  IntervalTree<double> empty{std::span<const Box<1>>()};
+  EXPECT_TRUE(empty.Overlapping(0, 1).empty());
+
+  std::vector<Box<1>> one = {{{{2.0}}, {{5.0}}}};
+  IntervalTree<double> tree{std::span<const Box<1>>(one)};
+  EXPECT_EQ(tree.Overlapping(0, 10).size(), 1u);
+  EXPECT_EQ(tree.Overlapping(5, 6).size(), 1u);   // Touch at endpoint.
+  EXPECT_EQ(tree.Overlapping(0, 2).size(), 1u);
+  EXPECT_TRUE(tree.Overlapping(5.1, 6).empty());
+  EXPECT_TRUE(tree.Overlapping(0, 1.9).empty());
+}
+
+TEST(IntervalTree, StabbingMatchesDefinition) {
+  std::vector<Box<1>> ivs = {{{{0.0}}, {{10.0}}},
+                             {{{5.0}}, {{6.0}}},
+                             {{{8.0}}, {{12.0}}}};
+  IntervalTree<double> tree{std::span<const Box<1>>(ivs)};
+  EXPECT_EQ(Sorted(tree.Stabbing(5.5)), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(Sorted(tree.Stabbing(9.0)), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(Sorted(tree.Stabbing(11.0)), (std::vector<uint32_t>{2}));
+  EXPECT_TRUE(tree.Stabbing(13.0).empty());
+}
+
+TEST(IntervalTree, RandomizedAgainstBruteForce) {
+  Rng rng(6021);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 50 + rng.NextBounded(500);
+    auto ivs = GenerateRects<1>(n, PointDistribution::kUniform,
+                                rng.UniformDouble(0.005, 0.2), &rng);
+    IntervalTree<double> tree{std::span<const Box<1>>(ivs)};
+    for (int q = 0; q < 20; ++q) {
+      const double a = rng.UniformDouble(-0.2, 1.2);
+      const double b = a + rng.UniformDouble(0, 0.3);
+      std::vector<uint32_t> expected;
+      for (uint32_t i = 0; i < ivs.size(); ++i) {
+        if (ivs[i].lo[0] <= b && ivs[i].hi[0] >= a) expected.push_back(i);
+      }
+      EXPECT_EQ(Sorted(tree.Overlapping(a, b)), expected)
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(IntervalTree, EarlyExitStopsEmission) {
+  Rng rng(6022);
+  auto ivs = GenerateRects<1>(300, PointDistribution::kUniform, 0.5, &rng);
+  IntervalTree<double> tree{std::span<const Box<1>>(ivs)};
+  int count = 0;
+  tree.Overlapping(0.0, 1.0, [&count](uint32_t) { return ++count < 5; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(IntervalTree, NestedAndDuplicateIntervals) {
+  std::vector<Box<1>> ivs = {{{{0.0}}, {{100.0}}},
+                             {{{10.0}}, {{20.0}}},
+                             {{{10.0}}, {{20.0}}},
+                             {{{14.0}}, {{15.0}}}};
+  IntervalTree<double> tree{std::span<const Box<1>>(ivs)};
+  EXPECT_EQ(Sorted(tree.Overlapping(14.5, 14.6)),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(Sorted(tree.Overlapping(25, 30)), (std::vector<uint32_t>{0}));
+}
+
+}  // namespace
+}  // namespace kwsc

@@ -1,0 +1,161 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Unit and property tests for the pure-geometry kd-tree substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "geom/box.h"
+#include "kdtree/kd_tree.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(KdTree, EmptyTree) {
+  KdTree<2> tree{std::span<const Point<2>>()};
+  std::vector<uint32_t> out;
+  tree.RangeReport({{{0, 0}}, {{1, 1}}}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  std::vector<Point<2>> pts = {{{0.5, 0.5}}};
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  std::vector<uint32_t> out;
+  tree.RangeReport({{{0, 0}}, {{1, 1}}}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0}));
+  out.clear();
+  tree.RangeReport({{{0.6, 0}}, {{1, 1}}}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+struct KdTreeParam {
+  size_t n;
+  PointDistribution dist;
+  double selectivity;
+};
+
+class KdTreeRangeTest : public ::testing::TestWithParam<KdTreeParam> {};
+
+TEST_P(KdTreeRangeTest, MatchesBruteForce) {
+  const auto param = GetParam();
+  Rng rng(1000 + param.n);
+  auto pts = GeneratePoints<2>(param.n, param.dist, &rng);
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  for (int trial = 0; trial < 10; ++trial) {
+    auto q = GenerateBoxQuery(std::span<const Point<2>>(pts),
+                              param.selectivity, &rng);
+    std::vector<uint32_t> got;
+    tree.RangeReport(q, &got);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      if (q.Contains(pts[i])) expected.push_back(i);
+    }
+    EXPECT_EQ(Sorted(got), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeRangeTest,
+    ::testing::Values(KdTreeParam{100, PointDistribution::kUniform, 0.1},
+                      KdTreeParam{100, PointDistribution::kClustered, 0.3},
+                      KdTreeParam{1000, PointDistribution::kUniform, 0.01},
+                      KdTreeParam{1000, PointDistribution::kClustered, 0.05},
+                      KdTreeParam{1000, PointDistribution::kDiagonal, 0.1},
+                      KdTreeParam{5000, PointDistribution::kUniform, 0.002}));
+
+TEST(KdTree, ConvexReportMatchesBruteForce) {
+  Rng rng(77);
+  auto pts = GeneratePoints<2>(800, PointDistribution::kUniform, &rng);
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  for (int trial = 0; trial < 20; ++trial) {
+    ConvexQuery<2> q;
+    const int s = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < s; ++i) {
+      q.constraints.push_back(GenerateHalfspaceQuery(
+          std::span<const Point<2>>(pts), rng.UniformDouble(0.1, 0.9), &rng));
+    }
+    std::vector<uint32_t> got;
+    tree.ConvexReport(q, [&got](uint32_t id) {
+      got.push_back(id);
+      return true;
+    });
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      if (q.Satisfies(pts[i])) expected.push_back(i);
+    }
+    EXPECT_EQ(Sorted(got), expected);
+  }
+}
+
+TEST(KdTree, RangeReportEarlyExit) {
+  Rng rng(88);
+  auto pts = GeneratePoints<2>(500, PointDistribution::kUniform, &rng);
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  int count = 0;
+  tree.RangeReport(Box<2>{{{0, 0}}, {{1, 1}}}, [&count](uint32_t) {
+    return ++count < 10;
+  });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(KdTree, NearestFirstOrderedByDistance) {
+  Rng rng(99);
+  auto pts = GeneratePoints<2>(400, PointDistribution::kClustered, &rng);
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  Point<2> q{{0.5, 0.5}};
+  double last = -1;
+  int emitted = 0;
+  tree.NearestFirst(q, L2SquaredDistanceFns<2, double>{},
+                    [&](uint32_t, double dist) {
+                      EXPECT_GE(dist, last);
+                      last = dist;
+                      return ++emitted < 50;
+                    });
+  EXPECT_EQ(emitted, 50);
+}
+
+TEST(KdTree, NearestFirstLinfMatchesBruteForce) {
+  Rng rng(111);
+  auto pts = GeneratePoints<2>(300, PointDistribution::kUniform, &rng);
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  Point<2> q{{0.3, 0.7}};
+  std::vector<uint32_t> got;
+  tree.NearestFirst(q, LInfDistanceFns<2, double>{},
+                    [&](uint32_t id, double) {
+                      got.push_back(id);
+                      return got.size() < 5;
+                    });
+  std::vector<uint32_t> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    return LInfDistance(pts[a], q) < LInfDistance(pts[b], q);
+  });
+  ids.resize(5);
+  EXPECT_EQ(Sorted(got), Sorted(ids));
+}
+
+TEST(KdTree, ThreeDimensionalRange) {
+  Rng rng(123);
+  auto pts = GeneratePoints<3>(600, PointDistribution::kUniform, &rng);
+  KdTree<3> tree{std::span<const Point<3>>(pts)};
+  Box<3> q{{{0.2, 0.2, 0.2}}, {{0.7, 0.7, 0.7}}};
+  std::vector<uint32_t> got;
+  tree.RangeReport(q, &got);
+  std::vector<uint32_t> expected;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (q.Contains(pts[i])) expected.push_back(i);
+  }
+  EXPECT_EQ(Sorted(got), expected);
+}
+
+}  // namespace
+}  // namespace kwsc

@@ -1,0 +1,213 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the low-dimensional LP feasibility solver and its use as the
+// exact cell test of the box-substrate partition index.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/sp_kw_box.h"
+#include "geom/lp.h"
+#include "geom/polygon2d.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+LpConstraint Make2D(double a0, double a1, double b) {
+  return LpConstraint{{a0, a1}, b};
+}
+
+TEST(Lp, UnconstrainedBoxIsFeasible) {
+  auto witness = LpFeasiblePoint({}, {0, 0}, {1, 1});
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_GE((*witness)[0], 0.0);
+  EXPECT_LE((*witness)[0], 1.0);
+}
+
+TEST(Lp, EmptyBoxIsInfeasible) {
+  EXPECT_FALSE(LpFeasiblePoint({}, {1, 0}, {0, 1}).has_value());
+}
+
+TEST(Lp, SingleHalfplaneInsideAndOutside) {
+  // x + y <= 0.5 intersects the unit box.
+  EXPECT_TRUE(
+      LpFeasiblePoint({Make2D(1, 1, 0.5)}, {0, 0}, {1, 1}).has_value());
+  // x + y <= -1 does not.
+  EXPECT_FALSE(
+      LpFeasiblePoint({Make2D(1, 1, -1)}, {0, 0}, {1, 1}).has_value());
+}
+
+TEST(Lp, ConjunctionCanBeEmptyWhenEachConstraintIsNot) {
+  // x <= 0.2 and -x <= -0.8 (x >= 0.8): each cuts the unit box, the
+  // conjunction is empty. This is exactly the case the conservative
+  // per-halfspace test cannot decide.
+  std::vector<LpConstraint> cons = {Make2D(1, 0, 0.2), Make2D(-1, 0, -0.8)};
+  EXPECT_FALSE(LpFeasiblePoint(cons, {0, 0}, {1, 1}).has_value());
+  // Widen the second: x >= 0.1 — now feasible.
+  cons[1] = Make2D(-1, 0, -0.1);
+  auto witness = LpFeasiblePoint(cons, {0, 0}, {1, 1});
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_GE((*witness)[0], 0.1 - 1e-6);
+  EXPECT_LE((*witness)[0], 0.2 + 1e-6);
+}
+
+TEST(Lp, ContradictionWithZeroCoefficients) {
+  // 0 * x <= -1 is unconditionally false.
+  EXPECT_FALSE(
+      LpFeasiblePoint({Make2D(0, 0, -1)}, {0, 0}, {1, 1}).has_value());
+  // 0 * x <= 1 is unconditionally true.
+  EXPECT_TRUE(LpFeasiblePoint({Make2D(0, 0, 1)}, {0, 0}, {1, 1}).has_value());
+}
+
+TEST(Lp, WitnessSatisfiesEverything) {
+  Rng rng(271);
+  int feasible_count = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<LpConstraint> cons;
+    const int s = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int i = 0; i < s; ++i) {
+      cons.push_back(Make2D(rng.UniformDouble(-1, 1), rng.UniformDouble(-1, 1),
+                            rng.UniformDouble(-0.5, 1)));
+    }
+    auto witness = LpFeasiblePoint(cons, {0, 0}, {1, 1});
+    if (!witness.has_value()) continue;
+    ++feasible_count;
+    for (const auto& con : cons) {
+      const double v = con.a[0] * (*witness)[0] + con.a[1] * (*witness)[1];
+      EXPECT_LE(v, con.b + 1e-6);
+    }
+    EXPECT_GE((*witness)[0], -1e-9);
+    EXPECT_LE((*witness)[0], 1 + 1e-9);
+  }
+  EXPECT_GT(feasible_count, 100);  // The sweep covers both outcomes.
+}
+
+TEST(Lp, MatchesPolygonClippingGroundTruth2D) {
+  // Exact 2-D oracle: clip the box polygon by every halfplane; non-empty
+  // clip <=> feasible. Near-degenerate cases (tiny clipped area) are
+  // skipped — both methods are tolerance-based there.
+  Rng rng(272);
+  int checked = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Box<2> box{{{rng.UniformDouble(-2, 0), rng.UniformDouble(-2, 0)}},
+               {{rng.UniformDouble(0.1, 2), rng.UniformDouble(0.1, 2)}}};
+    std::vector<LpConstraint> cons;
+    ConvexQuery<2> query;
+    const int s = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int i = 0; i < s; ++i) {
+      Halfspace<2> h{{{rng.UniformDouble(-1, 1), rng.UniformDouble(-1, 1)}},
+                     rng.UniformDouble(-1, 1)};
+      query.constraints.push_back(h);
+      cons.push_back(Make2D(h.coeffs[0], h.coeffs[1], h.rhs));
+    }
+    ConvexPolygon2D clipped = ConvexPolygon2D::FromBox(box);
+    for (const auto& h : query.constraints) clipped = clipped.ClipBy(h);
+    const double area = clipped.Empty() ? 0.0 : clipped.Area();
+    if (area > 1e-5) {
+      EXPECT_TRUE(LpFeasiblePoint(cons, {box.lo[0], box.lo[1]},
+                                  {box.hi[0], box.hi[1]})
+                      .has_value())
+          << "trial " << trial;
+      ++checked;
+    } else if (clipped.Empty()) {
+      EXPECT_FALSE(LpFeasiblePoint(cons, {box.lo[0], box.lo[1]},
+                                   {box.hi[0], box.hi[1]})
+                       .has_value())
+          << "trial " << trial;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(Lp, ThreeDimensionalSampledAgreement) {
+  Rng rng(273);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<LpConstraint> cons;
+    const int s = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < s; ++i) {
+      cons.push_back(LpConstraint{{rng.UniformDouble(-1, 1),
+                                   rng.UniformDouble(-1, 1),
+                                   rng.UniformDouble(-1, 1)},
+                                  rng.UniformDouble(-0.5, 1)});
+    }
+    const bool feasible =
+        LpFeasiblePoint(cons, {0, 0, 0}, {1, 1, 1}).has_value();
+    // Any satisfied sample point inside the box proves feasibility — the
+    // LP must agree.
+    bool sampled = false;
+    for (int p = 0; p < 200 && !sampled; ++p) {
+      double x[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+      bool all = true;
+      for (const auto& con : cons) {
+        if (con.a[0] * x[0] + con.a[1] * x[1] + con.a[2] * x[2] >
+            con.b - 1e-9) {
+          all = false;
+          break;
+        }
+      }
+      sampled = all;
+    }
+    if (sampled) {
+      EXPECT_TRUE(feasible) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Lp, PolytopeIntersectsBoxWrapper) {
+  ConvexQuery<2> q;
+  q.constraints.push_back({{{1, 0}}, 0.3});
+  q.constraints.push_back({{{-1, 0}}, -0.7});
+  Box<2> box{{{0, 0}}, {{1, 1}}};
+  EXPECT_FALSE(PolytopeIntersectsBox(q, box));  // 0.7 <= x <= 0.3: empty.
+  q.constraints[1].rhs = -0.1;
+  EXPECT_TRUE(PolytopeIntersectsBox(q, box));
+}
+
+TEST(SpKwBoxExact, SameResultsFewerVisits) {
+  Rng rng(274);
+  CorpusSpec spec;
+  spec.num_objects = 2000;
+  spec.vocab_size = 100;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(2000, PointDistribution::kUniform, &rng);
+  FrameworkOptions conservative;
+  conservative.k = 2;
+  FrameworkOptions exact = conservative;
+  exact.exact_cell_tests = true;
+  SpKwBoxIndex<2> index_c(pts, &corpus, conservative);
+  SpKwBoxIndex<2> index_e(pts, &corpus, exact);
+
+  uint64_t visits_c = 0;
+  uint64_t visits_e = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    // Narrow slab queries: pairs of near-parallel opposing halfplanes whose
+    // conjunction is thin — the conservative test's worst case.
+    const double angle = rng.UniformDouble(0, M_PI);
+    const double nx = std::cos(angle);
+    const double ny = std::sin(angle);
+    const double center = rng.UniformDouble(0.2, 0.8);
+    ConvexQuery<2> q;
+    q.constraints.push_back({{{nx, ny}}, center + 0.01});
+    q.constraints.push_back({{{-nx, -ny}}, -(center - 0.01)});
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng);
+    QueryStats sc;
+    QueryStats se;
+    auto rc = index_c.Query(q, kws, &sc);
+    auto re = index_e.Query(q, kws, &se);
+    EXPECT_EQ(testing::Sorted(rc), testing::Sorted(re));
+    EXPECT_EQ(testing::Sorted(rc),
+              testing::BruteConvex(std::span<const Point<2>>(pts), corpus, q,
+                                   kws));
+    visits_c += sc.nodes_visited;
+    visits_e += se.nodes_visited;
+  }
+  EXPECT_LE(visits_e, visits_c);
+}
+
+}  // namespace
+}  // namespace kwsc

@@ -1,0 +1,247 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the secondary structure T_u (Section 3.2): large/small
+// classification, the tuple registry, and the materialization rule.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "core/node_directory.h"
+#include "text/corpus.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+Corpus MakeCorpus() {
+  // Keyword 0 appears in 6 of 8 docs (large at most thresholds); keyword 9
+  // appears once (small).
+  return Corpus({Document{0, 1}, Document{0, 2}, Document{0, 3},
+                 Document{0, 1, 2}, Document{0, 4}, Document{0, 9},
+                 Document{5, 6}, Document{7, 8}});
+}
+
+TEST(NodeDirectory, EncodeTupleBitPacking) {
+  std::vector<uint32_t> pair = {3, 7};
+  EXPECT_EQ(NodeDirectory::EncodeTuple(pair),
+            (uint64_t{3} << 32) | 7);
+  std::vector<uint32_t> triple = {1, 2, 3};
+  // 21 bits per id for k = 3.
+  EXPECT_EQ(NodeDirectory::EncodeTuple(triple),
+            (uint64_t{1} << 42) | (uint64_t{2} << 21) | 3);
+}
+
+TEST(NodeDirectory, EncodeTupleInjectiveOnRandomTuples) {
+  Rng rng(3);
+  FlatHashSet<uint64_t> seen;
+  std::set<std::vector<uint32_t>> raw;
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<uint32_t> t(3);
+    for (auto& v : t) v = static_cast<uint32_t>(rng.NextBounded(1 << 21));
+    std::sort(t.begin(), t.end());
+    const bool new_raw = raw.insert(t).second;
+    EXPECT_EQ(seen.Insert(NodeDirectory::EncodeTuple(t)), new_raw);
+  }
+}
+
+TEST(DirectoryBuilder, WeightMatchesDocSizes) {
+  Corpus corpus = MakeCorpus();
+  FrameworkOptions opt;
+  opt.k = 2;
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> all(corpus.num_objects());
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_EQ(builder.WeightOf(all), corpus.total_weight());
+  std::vector<ObjectId> some = {0, 3};
+  EXPECT_EQ(builder.WeightOf(some), 5u);  // |{0,1}| + |{0,1,2}|.
+}
+
+TEST(DirectoryBuilder, LargeClassificationFollowsThreshold) {
+  Corpus corpus = MakeCorpus();
+  FrameworkOptions opt;
+  opt.k = 2;  // alpha = 1/2; N_u = 17 -> threshold ~ 4.12.
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> active(corpus.num_objects());
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<std::vector<ObjectId>> children(2);
+  children[0] = {0, 1, 2, 3};
+  children[1] = {4, 5, 6};
+  NodeDirectory dir;
+  std::vector<KeywordId> next;
+  builder.Build(active, children, nullptr, {7}, &dir, &next);
+  EXPECT_EQ(dir.weight(), corpus.total_weight());
+  // Keyword 0 occurs 6 times >= 4.12: large. All others occur <= 2: small.
+  EXPECT_EQ(dir.num_large(), 1u);
+  EXPECT_GE(dir.LargeId(0), 0);
+  EXPECT_EQ(dir.LargeId(1), -1);
+  EXPECT_EQ(next, (std::vector<KeywordId>{0}));
+}
+
+TEST(DirectoryBuilder, MaterializesSmallInheritedKeywordsExcludingPivots) {
+  Corpus corpus = MakeCorpus();
+  FrameworkOptions opt;
+  opt.k = 2;
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> active(corpus.num_objects());
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<std::vector<ObjectId>> children(2);
+  children[0] = {0, 1, 2, 3};
+  children[1] = {4, 5, 6};
+  NodeDirectory dir;
+  builder.Build(active, children, nullptr, {7}, &dir, nullptr);
+  // Keyword 1 (small, inherited-at-root) occurs in objects 0 and 3.
+  const auto* list1 = dir.MaterializedList(1);
+  ASSERT_NE(list1, nullptr);
+  EXPECT_EQ(*list1, (std::vector<ObjectId>{0, 3}));
+  // Keyword 7 occurs only in the pivot object 7, so its list is absent.
+  EXPECT_EQ(dir.MaterializedList(7), nullptr);
+  // Keyword 0 is large: never materialized here.
+  EXPECT_EQ(dir.MaterializedList(0), nullptr);
+}
+
+TEST(DirectoryBuilder, InheritedFilterRestrictsClassification) {
+  Corpus corpus = MakeCorpus();
+  FrameworkOptions opt;
+  opt.k = 2;
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> active(corpus.num_objects());
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<std::vector<ObjectId>> children(1);
+  children[0] = active;
+  // Only keyword 2 is inherited: keyword 0 must be invisible here.
+  std::vector<KeywordId> inherited = {2};
+  NodeDirectory dir;
+  builder.Build(active, children, &inherited, {}, &dir, nullptr);
+  EXPECT_EQ(dir.LargeId(0), -1);
+  const auto* list = dir.MaterializedList(2);
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(*list, (std::vector<ObjectId>{1, 3}));
+  EXPECT_EQ(dir.MaterializedList(0), nullptr);
+}
+
+TEST(DirectoryBuilder, TupleRegistryMatchesBruteForce) {
+  // Property: a k-tuple of large keywords is registered for child c iff some
+  // object in that child's active set carries all k keywords.
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    CorpusSpec spec;
+    spec.num_objects = 120;
+    spec.vocab_size = 15;
+    spec.zipf_skew = 0.6;
+    spec.min_doc_len = 2;
+    spec.max_doc_len = 6;
+    Corpus corpus = GenerateCorpus(spec, &rng);
+    FrameworkOptions opt;
+    opt.k = 2;
+    opt.alpha = 0.3;  // Low threshold: many large keywords to exercise.
+    DirectoryBuilder builder(&corpus, opt);
+    std::vector<ObjectId> active(corpus.num_objects());
+    std::iota(active.begin(), active.end(), 0);
+    std::vector<std::vector<ObjectId>> children(2);
+    for (ObjectId e : active) children[e % 2].push_back(e);
+    NodeDirectory dir;
+    builder.Build(active, children, nullptr, {}, &dir, nullptr);
+
+    // Collect the large keywords with their lids.
+    std::vector<std::pair<KeywordId, uint32_t>> larges;
+    for (KeywordId w = 0; w < corpus.vocab_size(); ++w) {
+      const int64_t lid = dir.LargeId(w);
+      if (lid >= 0) larges.push_back({w, static_cast<uint32_t>(lid)});
+    }
+    ASSERT_GE(larges.size(), 2u);
+    for (size_t a = 0; a < larges.size(); ++a) {
+      for (size_t b = a + 1; b < larges.size(); ++b) {
+        std::vector<uint32_t> lids = {larges[a].second, larges[b].second};
+        std::vector<KeywordId> kws = {larges[a].first, larges[b].first};
+        for (size_t c = 0; c < 2; ++c) {
+          bool expected = false;
+          for (ObjectId e : children[c]) {
+            if (corpus.ContainsAll(e, kws)) {
+              expected = true;
+              break;
+            }
+          }
+          EXPECT_EQ(dir.ChildTupleNonEmpty(c, lids), expected)
+              << "keywords " << kws[0] << "," << kws[1] << " child " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(DirectoryBuilder, ResolveLargeFillsCanonicalLids) {
+  Corpus corpus({Document{0, 2, 4}, Document{0, 2, 4}, Document{0, 2, 4},
+                 Document{0, 2, 4}});
+  FrameworkOptions opt;
+  opt.k = 3;
+  opt.alpha = 0.1;  // Everything present is large.
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> active = {0, 1, 2, 3};
+  std::vector<std::vector<ObjectId>> children(1);
+  children[0] = active;
+  NodeDirectory dir;
+  builder.Build(active, children, nullptr, {}, &dir, nullptr);
+  std::vector<KeywordId> sorted_kws = {0, 2, 4};
+  uint32_t lids[3];
+  KeywordId small = 0;
+  ASSERT_TRUE(dir.ResolveLarge(sorted_kws, lids, &small));
+  EXPECT_EQ(lids[0], 0u);
+  EXPECT_EQ(lids[1], 1u);
+  EXPECT_EQ(lids[2], 2u);
+  // Lids ascend with keywords, so the resolved array is already canonical.
+  EXPECT_TRUE(dir.ChildTupleNonEmpty(0, {lids, 3}));
+}
+
+TEST(DirectoryBuilder, ResolveLargeReportsFirstSmall) {
+  Corpus corpus = MakeCorpus();
+  FrameworkOptions opt;
+  opt.k = 2;
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> active(corpus.num_objects());
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<std::vector<ObjectId>> children(1);
+  children[0] = active;
+  NodeDirectory dir;
+  builder.Build(active, children, nullptr, {}, &dir, nullptr);
+  std::vector<KeywordId> kws = {0, 9};  // 0 large, 9 small.
+  uint32_t lids[2];
+  KeywordId small = 99;
+  EXPECT_FALSE(dir.ResolveLarge(kws, lids, &small));
+  EXPECT_EQ(small, 9u);
+}
+
+TEST(DirectoryBuilder, LeafStoresWholeActiveSetAsPivots) {
+  Corpus corpus = MakeCorpus();
+  FrameworkOptions opt;
+  opt.k = 2;
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> active = {2, 5, 6};
+  NodeDirectory dir;
+  builder.BuildLeaf(active, &dir);
+  EXPECT_EQ(dir.pivots(), active);
+  EXPECT_EQ(dir.weight(), 6u);
+  EXPECT_EQ(dir.num_children(), 0u);
+}
+
+TEST(DirectoryBuilder, TuplePruningDisabledBuildsNoRegistry) {
+  Corpus corpus = MakeCorpus();
+  FrameworkOptions opt;
+  opt.k = 2;
+  opt.enable_tuple_pruning = false;
+  DirectoryBuilder builder(&corpus, opt);
+  std::vector<ObjectId> active(corpus.num_objects());
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<std::vector<ObjectId>> children(2);
+  children[0] = {0, 1, 2, 3};
+  children[1] = {4, 5, 6, 7};
+  NodeDirectory dir;
+  builder.Build(active, children, nullptr, {}, &dir, nullptr);
+  EXPECT_EQ(dir.num_children(), 2u);  // Slots exist but stay empty.
+}
+
+}  // namespace
+}  // namespace kwsc

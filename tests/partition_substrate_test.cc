@@ -1,0 +1,187 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the partition substrates: f-balanced cuts (Section 4) and
+// ham-sandwich cuts (Appendix D's 2-D partition tree stand-in).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "core/balanced_cut.h"
+#include "parttree/ham_sandwich.h"
+#include "text/corpus.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+TEST(FanoutForLevel, MatchesEquationTen) {
+  // f_u = 2 * 2^(k^level).
+  EXPECT_EQ(FanoutForLevel(2, 0, 1 << 30), 4u);        // 2 * 2^1.
+  EXPECT_EQ(FanoutForLevel(2, 1, 1 << 30), 8u);        // 2 * 2^2.
+  EXPECT_EQ(FanoutForLevel(2, 2, 1 << 30), 32u);       // 2 * 2^4.
+  EXPECT_EQ(FanoutForLevel(2, 3, 1 << 30), 512u);      // 2 * 2^8.
+  EXPECT_EQ(FanoutForLevel(3, 0, 1 << 30), 4u);        // 2 * 2^1.
+  EXPECT_EQ(FanoutForLevel(3, 1, 1 << 30), 16u);       // 2 * 2^3.
+  EXPECT_EQ(FanoutForLevel(3, 2, 1 << 30), 1u << 10);  // 2 * 2^9.
+}
+
+TEST(FanoutForLevel, SaturatesAtMaxFanout) {
+  EXPECT_EQ(FanoutForLevel(2, 10, 100), 100u);
+  EXPECT_EQ(FanoutForLevel(2, 30, 7), 7u);
+  EXPECT_EQ(FanoutForLevel(2, 30, 1), 2u);  // Floor of 2.
+}
+
+class BalancedCutTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BalancedCutTest, SatisfiesAllInvariants) {
+  const uint64_t fanout = GetParam();
+  Rng rng(fanout * 31);
+  CorpusSpec spec;
+  spec.num_objects = 300;
+  spec.vocab_size = 40;
+  spec.min_doc_len = 1;
+  spec.max_doc_len = 9;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  std::vector<ObjectId> sorted(corpus.num_objects());
+  std::iota(sorted.begin(), sorted.end(), 0);
+
+  const BalancedCut cut = ComputeBalancedCut(sorted, corpus, fanout);
+  uint64_t total = corpus.total_weight();
+
+  // Groups and separators are disjoint and cover the input.
+  size_t covered = cut.separators.size();
+  for (const auto& g : cut.groups) covered += g.end - g.begin;
+  EXPECT_EQ(covered, sorted.size());
+  EXPECT_LE(cut.groups.size(), fanout);
+  EXPECT_LE(cut.separators.size(), fanout - 1);
+
+  // Groups are contiguous and ordered; weights obey the quota.
+  uint32_t cursor = 0;
+  for (const auto& g : cut.groups) {
+    EXPECT_GE(g.begin, cursor);
+    cursor = g.end;
+    uint64_t w = 0;
+    for (uint32_t i = g.begin; i < g.end; ++i) {
+      w += corpus.doc(sorted[i]).size();
+    }
+    EXPECT_LE(w, total / fanout) << "group weight quota violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FanoutSweep, BalancedCutTest,
+                         ::testing::Values(2, 3, 4, 8, 32, 128, 500));
+
+TEST(BalancedCut, SingleHeavyObjectBecomesSeparator) {
+  // One object heavier than the quota cannot fit in any group.
+  Corpus corpus({Document{0, 1, 2, 3, 4, 5, 6, 7}, Document{8}, Document{9}});
+  std::vector<ObjectId> sorted = {0, 1, 2};
+  const BalancedCut cut = ComputeBalancedCut(sorted, corpus, 2);
+  // Quota = 10/2 = 5 < 8, so object 0 is promoted to separator.
+  ASSERT_FALSE(cut.separators.empty());
+  EXPECT_EQ(cut.separators[0], 0u);
+}
+
+TEST(HamSandwich, Line1BisectsWeight) {
+  Rng rng(71);
+  auto pts = GeneratePoints<2>(501, PointDistribution::kUniform, &rng);
+  std::vector<uint64_t> weights(pts.size());
+  for (auto& w : weights) w = 1 + rng.NextBounded(8);
+  const auto cut =
+      FindHamSandwichCut(std::span<const Point<2>>(pts), weights);
+  uint64_t left = 0;
+  uint64_t right = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    total += weights[i];
+    const double f = cut.line1.Eval(pts[i]) - cut.line1.rhs;
+    if (f < 0) left += weights[i];
+    if (f > 0) right += weights[i];
+  }
+  EXPECT_LE(left, total / 2 + 1);
+  EXPECT_LE(right, total / 2 + 1);
+}
+
+TEST(HamSandwich, Line2ApproximatelyBisectsBothSides) {
+  Rng rng(73);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto dist = trial % 2 == 0 ? PointDistribution::kUniform
+                               : PointDistribution::kClustered;
+    auto pts = GeneratePoints<2>(800, dist, &rng);
+    std::vector<uint64_t> weights(pts.size(), 1);
+    const auto cut =
+        FindHamSandwichCut(std::span<const Point<2>>(pts), weights);
+    // Quadrant occupancy: every quadrant should hold at most ~30% of the
+    // points (exact ham-sandwich gives 25%; the numeric search is
+    // approximate).
+    std::array<int, 4> quadrant = {0, 0, 0, 0};
+    int on_lines = 0;
+    for (const auto& p : pts) {
+      const double f1 = cut.line1.Eval(p) - cut.line1.rhs;
+      const double f2 = cut.line2.Eval(p) - cut.line2.rhs;
+      if (std::fabs(f1) < 1e-9 || std::fabs(f2) < 1e-9) {
+        ++on_lines;
+        continue;
+      }
+      ++quadrant[(f1 > 0 ? 2 : 0) + (f2 > 0 ? 1 : 0)];
+    }
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_LE(quadrant[c], static_cast<int>(0.35 * pts.size()))
+          << "trial " << trial << " quadrant " << c;
+    }
+  }
+}
+
+TEST(HamSandwich, DegenerateAllSameX) {
+  std::vector<Point<2>> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({{1.0, static_cast<double>(i)}});
+  std::vector<uint64_t> weights(pts.size(), 1);
+  const auto cut =
+      FindHamSandwichCut(std::span<const Point<2>>(pts), weights);
+  // Line 1 passes through all points; line 2 must be the horizontal median.
+  EXPECT_DOUBLE_EQ(cut.line1.rhs, 1.0);
+  int below = 0;
+  for (const auto& p : pts) {
+    if (cut.line2.Eval(p) < cut.line2.rhs) ++below;
+  }
+  EXPECT_LE(below, 10);
+}
+
+TEST(HamSandwich, AnyLineMissesOneQuadrantCell) {
+  // The crossing-bound property: for random query lines, at least one of the
+  // four cells formed by the two cut lines is untouched. This is geometric
+  // (two lines partition the plane into 4 wedges; a third line meets at most
+  // 3), so it must hold for every trial.
+  Rng rng(79);
+  auto pts = GeneratePoints<2>(400, PointDistribution::kUniform, &rng);
+  std::vector<uint64_t> weights(pts.size(), 1);
+  const auto cut =
+      FindHamSandwichCut(std::span<const Point<2>>(pts), weights);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto query = GenerateHalfspaceQuery(std::span<const Point<2>>(pts),
+                                              rng.NextDouble(), &rng);
+    // Sample the query's boundary line densely and record which cells it
+    // touches within the data square.
+    std::array<bool, 4> touched = {false, false, false, false};
+    // Parametrize the line a.x = rhs: direction (-a_y, a_x).
+    const double dx = -query.coeffs[1];
+    const double dy = query.coeffs[0];
+    const double norm = std::hypot(query.coeffs[0], query.coeffs[1]);
+    const double px = query.coeffs[0] / norm * query.rhs / norm;
+    const double py = query.coeffs[1] / norm * query.rhs / norm;
+    for (int s = -500; s <= 500; ++s) {
+      const Point<2> p{{px + dx * s * 0.004, py + dy * s * 0.004}};
+      const double f1 = cut.line1.Eval(p) - cut.line1.rhs;
+      const double f2 = cut.line2.Eval(p) - cut.line2.rhs;
+      if (std::fabs(f1) < 1e-12 || std::fabs(f2) < 1e-12) continue;
+      touched[(f1 > 0 ? 2 : 0) + (f2 > 0 ? 1 : 0)] = true;
+    }
+    const int cells = touched[0] + touched[1] + touched[2] + touched[3];
+    EXPECT_LE(cells, 3) << "a line crossed all four cells";
+  }
+}
+
+}  // namespace
+}  // namespace kwsc

@@ -1,0 +1,142 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for RR-KW (Corollary 3): rectangle intersection with keywords via
+// the dominance lift to 2d-dimensional points.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/rr_kw.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+using testing::BruteRects;
+using testing::Sorted;
+
+TEST(RrKw, LiftQueryDominanceEquivalence) {
+  // Property: rect-intersects-rect iff lifted point in lifted box.
+  Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    Box<2> data;
+    Box<2> query;
+    for (int dim = 0; dim < 2; ++dim) {
+      double a = rng.UniformDouble(0, 1), b = rng.UniformDouble(0, 1);
+      data.lo[dim] = std::min(a, b);
+      data.hi[dim] = std::max(a, b);
+      a = rng.UniformDouble(0, 1);
+      b = rng.UniformDouble(0, 1);
+      query.lo[dim] = std::min(a, b);
+      query.hi[dim] = std::max(a, b);
+    }
+    Point<4> lifted{{data.lo[0], data.hi[0], data.lo[1], data.hi[1]}};
+    EXPECT_EQ(RrKwIndex<2>::LiftQuery(query).Contains(lifted),
+              data.Intersects(query));
+  }
+}
+
+struct RrParam {
+  uint32_t n;
+  int k;
+  double mean_extent;
+};
+
+class RrKw1DTest : public ::testing::TestWithParam<RrParam> {};
+
+TEST_P(RrKw1DTest, TemporalIntervalsMatchBruteForce) {
+  // d = 1: keyword search on temporal documents (lifespan intervals [7]).
+  const auto p = GetParam();
+  Rng rng(3000 + p.n + p.k);
+  CorpusSpec spec;
+  spec.num_objects = p.n;
+  spec.vocab_size = std::max<uint32_t>(20, p.n / 15);
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto rects = GenerateRects<1>(p.n, PointDistribution::kUniform,
+                                p.mean_extent, &rng);
+  FrameworkOptions opt;
+  opt.k = p.k;
+  RrKwIndex<1> index(rects, &corpus, opt);
+  for (int trial = 0; trial < 10; ++trial) {
+    Box<1> q;
+    const double center = rng.NextDouble();
+    const double half = rng.UniformDouble(0.01, 0.2);
+    q.lo[0] = center - half;
+    q.hi[0] = center + half;
+    auto kws = PickQueryKeywords(
+        corpus, p.k,
+        trial % 2 == 0 ? KeywordPick::kFrequent : KeywordPick::kCooccurring,
+        &rng);
+    auto got = index.Query(q, kws);
+    EXPECT_EQ(Sorted(got),
+              BruteRects(std::span<const Box<1>>(rects), corpus, q, kws));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RrKw1DTest,
+                         ::testing::Values(RrParam{100, 2, 0.1},
+                                           RrParam{500, 2, 0.05},
+                                           RrParam{500, 3, 0.02},
+                                           RrParam{1500, 2, 0.01}));
+
+TEST(RrKw, TwoDimensionalMbrsMatchBruteForce) {
+  // d = 2: geographic entities as minimum bounding rectangles [34]; the
+  // engine is the 4-dimensional dimension-reduction index.
+  Rng rng(107);
+  const uint32_t n = 500;
+  CorpusSpec spec;
+  spec.num_objects = n;
+  spec.vocab_size = 40;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto rects =
+      GenerateRects<2>(n, PointDistribution::kClustered, 0.05, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  RrKwIndex<2> index(rects, &corpus, opt);
+  for (int trial = 0; trial < 8; ++trial) {
+    Box<2> q;
+    for (int dim = 0; dim < 2; ++dim) {
+      const double c = rng.NextDouble();
+      const double half = rng.UniformDouble(0.02, 0.3);
+      q.lo[dim] = c - half;
+      q.hi[dim] = c + half;
+    }
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng);
+    EXPECT_EQ(Sorted(index.Query(q, kws)),
+              BruteRects(std::span<const Box<2>>(rects), corpus, q, kws));
+  }
+}
+
+TEST(RrKw, TouchingRectanglesIntersect) {
+  // Closed rectangles sharing only a boundary point must be reported.
+  Corpus corpus({Document{0, 1}});
+  std::vector<Box<1>> rects = {{{{0.0}}, {{1.0}}}};
+  FrameworkOptions opt;
+  opt.k = 2;
+  RrKwIndex<1> index(rects, &corpus, opt);
+  std::vector<KeywordId> kws = {0, 1};
+  EXPECT_EQ(index.Query({{{1.0}}, {{2.0}}}, kws).size(), 1u);  // Touch at 1.
+  EXPECT_EQ(index.Query({{{-1.0}}, {{0.0}}}, kws).size(), 1u);
+  EXPECT_TRUE(index.Query({{{1.1}}, {{2.0}}}, kws).empty());
+}
+
+TEST(RrKw, ContainedRectanglesIntersect) {
+  // Containment in either direction is intersection.
+  Corpus corpus({Document{0, 1}, Document{0, 1}});
+  std::vector<Box<2>> rects = {{{{0, 0}}, {{10, 10}}},
+                               {{{4, 4}}, {{5, 5}}}};
+  FrameworkOptions opt;
+  opt.k = 2;
+  RrKwIndex<2> index(rects, &corpus, opt);
+  std::vector<KeywordId> kws = {0, 1};
+  // A tiny query inside rect 0 and disjoint from rect 1.
+  EXPECT_EQ(index.Query({{{1, 1}}, {{2, 2}}}, kws),
+            (std::vector<ObjectId>{0}));
+  // A huge query containing both.
+  EXPECT_EQ(Sorted(index.Query({{{-1, -1}}, {{20, 20}}}, kws)),
+            (std::vector<ObjectId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace kwsc

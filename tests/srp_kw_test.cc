@@ -1,0 +1,131 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for SRP-KW (Corollary 6): spherical range reporting with keywords
+// via the lifting map.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/srp_kw.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+using testing::BruteBall;
+using testing::Sorted;
+
+struct SrpParam {
+  uint32_t n;
+  int k;
+  double selectivity;
+  PointDistribution dist;
+};
+
+class SrpKwTest : public ::testing::TestWithParam<SrpParam> {};
+
+TEST_P(SrpKwTest, MatchesBruteForce) {
+  const auto p = GetParam();
+  Rng rng(60000 + p.n + p.k);
+  CorpusSpec spec;
+  spec.num_objects = p.n;
+  spec.vocab_size = std::max<uint32_t>(20, p.n / 15);
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(p.n, p.dist, &rng);
+  FrameworkOptions opt;
+  opt.k = p.k;
+  SrpKwIndex<2> index(pts, &corpus, opt);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto [center, radius_sq] = GenerateBallQuery(
+        std::span<const Point<2>>(pts), p.selectivity, &rng);
+    auto kws = PickQueryKeywords(
+        corpus, p.k,
+        trial % 2 == 0 ? KeywordPick::kFrequent : KeywordPick::kCooccurring,
+        &rng);
+    auto got = index.Query(center, radius_sq, kws);
+    auto expected = BruteBall(std::span<const Point<2>>(pts), corpus, center,
+                              radius_sq, kws);
+    ASSERT_EQ(Sorted(got), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SrpKwTest,
+    ::testing::Values(SrpParam{100, 2, 0.2, PointDistribution::kUniform},
+                      SrpParam{500, 2, 0.05, PointDistribution::kClustered},
+                      SrpParam{500, 3, 0.3, PointDistribution::kUniform},
+                      SrpParam{1200, 2, 0.02, PointDistribution::kDiagonal},
+                      SrpParam{1200, 3, 0.1, PointDistribution::kClustered}));
+
+TEST(SrpKw, ThreeDimensionalBalls) {
+  Rng rng(61);
+  const uint32_t n = 400;
+  CorpusSpec spec;
+  spec.num_objects = n;
+  spec.vocab_size = 30;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<3>(n, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  SrpKwIndex<3> index(pts, &corpus, opt);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto [center, radius_sq] =
+        GenerateBallQuery(std::span<const Point<3>>(pts), 0.2, &rng);
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng);
+    EXPECT_EQ(Sorted(index.Query(center, radius_sq, kws)),
+              BruteBall(std::span<const Point<3>>(pts), corpus, center,
+                        radius_sq, kws));
+  }
+}
+
+TEST(SrpKw, ZeroRadiusHitsExactPoint) {
+  Corpus corpus({Document{0, 1}, Document{0, 1}});
+  std::vector<Point<2>> pts = {{{2, 3}}, {{5, 5}}};
+  FrameworkOptions opt;
+  opt.k = 2;
+  SrpKwIndex<2> index(pts, &corpus, opt);
+  std::vector<KeywordId> kws = {0, 1};
+  EXPECT_EQ(index.Query({{2, 3}}, 0.0, kws), (std::vector<ObjectId>{0}));
+  EXPECT_TRUE(index.Query({{2.5, 3}}, 0.0, kws).empty());
+}
+
+TEST(SrpKw, BoundaryPointsIncluded) {
+  // Integer-valued doubles keep the lifted arithmetic exact: a point at
+  // distance exactly r belongs to the closed ball.
+  Corpus corpus({Document{0, 1}});
+  std::vector<Point<2>> pts = {{{3, 4}}};  // Distance 5 from origin.
+  FrameworkOptions opt;
+  opt.k = 2;
+  SrpKwIndex<2> index(pts, &corpus, opt);
+  std::vector<KeywordId> kws = {0, 1};
+  EXPECT_EQ(index.Query({{0, 0}}, 25.0, kws).size(), 1u);
+  EXPECT_TRUE(index.Query({{0, 0}}, 24.999, kws).empty());
+}
+
+TEST(SrpKw, ContainsAtLeastAgreesWithTruth) {
+  Rng rng(67);
+  const uint32_t n = 600;
+  CorpusSpec spec;
+  spec.num_objects = n;
+  spec.vocab_size = 25;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(n, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  SrpKwIndex<2> index(pts, &corpus, opt);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto [center, radius_sq] = GenerateBallQuery(
+        std::span<const Point<2>>(pts), rng.UniformDouble(0.05, 0.5), &rng);
+    auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng);
+    const size_t truth = BruteBall(std::span<const Point<2>>(pts), corpus,
+                                   center, radius_sq, kws)
+                             .size();
+    for (uint64_t t : {1, 5, 20}) {
+      EXPECT_EQ(index.ContainsAtLeast(center, radius_sq, kws, t), truth >= t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kwsc

@@ -1,0 +1,128 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Shared test helpers: brute-force reference implementations of every query
+// the library answers. Each index test compares against these oracles over
+// randomized inputs.
+
+#ifndef KWSC_TESTS_TEST_UTIL_H_
+#define KWSC_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/halfspace.h"
+#include "geom/point.h"
+#include "text/corpus.h"
+
+namespace kwsc {
+namespace testing {
+
+/// Objects in `q` whose documents contain all keywords, ascending by id.
+template <int D, typename Scalar>
+std::vector<ObjectId> BruteBox(std::span<const Point<D, Scalar>> points,
+                               const Corpus& corpus, const Box<D, Scalar>& q,
+                               std::span<const KeywordId> keywords) {
+  std::vector<ObjectId> out;
+  for (ObjectId e = 0; e < points.size(); ++e) {
+    if (q.Contains(points[e]) && corpus.ContainsAll(e, keywords)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+template <int D, typename Scalar>
+std::vector<ObjectId> BruteConvex(std::span<const Point<D, Scalar>> points,
+                                  const Corpus& corpus,
+                                  const ConvexQuery<D, Scalar>& q,
+                                  std::span<const KeywordId> keywords) {
+  std::vector<ObjectId> out;
+  for (ObjectId e = 0; e < points.size(); ++e) {
+    if (q.Satisfies(points[e]) && corpus.ContainsAll(e, keywords)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+template <int D, typename Scalar>
+std::vector<ObjectId> BruteBall(std::span<const Point<D, Scalar>> points,
+                                const Corpus& corpus,
+                                const Point<D, Scalar>& center,
+                                double radius_sq,
+                                std::span<const KeywordId> keywords) {
+  std::vector<ObjectId> out;
+  for (ObjectId e = 0; e < points.size(); ++e) {
+    if (static_cast<double>(L2DistanceSquared(points[e], center)) <=
+            radius_sq &&
+        corpus.ContainsAll(e, keywords)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+template <int D, typename Scalar>
+std::vector<ObjectId> BruteRects(std::span<const Box<D, Scalar>> rects,
+                                 const Corpus& corpus,
+                                 const Box<D, Scalar>& q,
+                                 std::span<const KeywordId> keywords) {
+  std::vector<ObjectId> out;
+  for (ObjectId e = 0; e < rects.size(); ++e) {
+    if (rects[e].Intersects(q) && corpus.ContainsAll(e, keywords)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+/// t nearest matches by `distance` (ties by id), the oracle for both NN
+/// problems.
+template <int D, typename Scalar, typename DistanceFn>
+std::vector<ObjectId> BruteNearest(std::span<const Point<D, Scalar>> points,
+                                   const Corpus& corpus,
+                                   const Point<D, Scalar>& q, uint64_t t,
+                                   std::span<const KeywordId> keywords,
+                                   DistanceFn&& distance) {
+  std::vector<ObjectId> matches;
+  for (ObjectId e = 0; e < points.size(); ++e) {
+    if (corpus.ContainsAll(e, keywords)) matches.push_back(e);
+  }
+  std::sort(matches.begin(), matches.end(), [&](ObjectId a, ObjectId b) {
+    const auto da = distance(points[a], q);
+    const auto db = distance(points[b], q);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  if (matches.size() > t) matches.resize(t);
+  return matches;
+}
+
+/// Sorted copy (indexes may emit in tree order; oracles emit by id).
+inline std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Distance multisets are compared instead of ids when ties at the t-th
+/// distance make the id set ambiguous.
+template <int D, typename Scalar, typename DistanceFn>
+std::vector<double> DistanceProfile(std::span<const Point<D, Scalar>> points,
+                                    const Point<D, Scalar>& q,
+                                    std::span<const ObjectId> ids,
+                                    DistanceFn&& distance) {
+  std::vector<double> out;
+  out.reserve(ids.size());
+  for (ObjectId e : ids) {
+    out.push_back(static_cast<double>(distance(points[e], q)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace testing
+}  // namespace kwsc
+
+#endif  // KWSC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for src/text: documents, the corpus, and the inverted index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "text/corpus.h"
+#include "text/document.h"
+#include "text/inverted_index.h"
+
+namespace kwsc {
+namespace {
+
+TEST(Document, SortsAndDeduplicates) {
+  Document d({5, 1, 3, 1, 5});
+  EXPECT_EQ(d.keywords(), (std::vector<KeywordId>{1, 3, 5}));
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(Document, Contains) {
+  Document d({2, 4, 8});
+  EXPECT_TRUE(d.Contains(2));
+  EXPECT_TRUE(d.Contains(8));
+  EXPECT_FALSE(d.Contains(3));
+  EXPECT_FALSE(d.Contains(0));
+}
+
+TEST(Document, ContainsAll) {
+  Document d({1, 2, 3, 4});
+  KeywordId all[] = {1, 3};
+  KeywordId miss[] = {1, 9};
+  EXPECT_TRUE(d.ContainsAll(all, 2));
+  EXPECT_FALSE(d.ContainsAll(miss, 2));
+  EXPECT_TRUE(d.ContainsAll(nullptr, 0));
+}
+
+TEST(Corpus, TotalWeightIsEquationTwo) {
+  // N = sum of |e.Doc| over all objects (Eq. (2) of the paper).
+  Corpus corpus({Document{1, 2}, Document{3}, Document{1, 2, 3, 4}});
+  EXPECT_EQ(corpus.total_weight(), 7u);
+  EXPECT_EQ(corpus.num_objects(), 3u);
+  EXPECT_EQ(corpus.vocab_size(), 5u);
+}
+
+TEST(Corpus, ContainsMatchesDocument) {
+  Corpus corpus({Document{1, 5}, Document{2}});
+  EXPECT_TRUE(corpus.Contains(0, 1));
+  EXPECT_TRUE(corpus.Contains(0, 5));
+  EXPECT_FALSE(corpus.Contains(0, 2));
+  EXPECT_TRUE(corpus.Contains(1, 2));
+}
+
+TEST(Corpus, ContainsAllSpan) {
+  Corpus corpus({Document{1, 2, 3}});
+  std::vector<KeywordId> yes = {1, 3};
+  std::vector<KeywordId> no = {1, 4};
+  EXPECT_TRUE(corpus.ContainsAll(0, yes));
+  EXPECT_FALSE(corpus.ContainsAll(0, no));
+}
+
+TEST(Corpus, LongDocumentsUseHashedPath) {
+  // Documents of >= 32 keywords go through the hash-set membership path
+  // (footnote 9's perfect hash table); verify it agrees with binary search.
+  std::vector<KeywordId> long_doc;
+  for (KeywordId w = 0; w < 100; w += 2) long_doc.push_back(w);
+  Corpus corpus({Document(long_doc)});
+  for (KeywordId w = 0; w < 100; ++w) {
+    EXPECT_EQ(corpus.Contains(0, w), w % 2 == 0) << w;
+  }
+}
+
+TEST(InvertedIndex, PostingsAreSortedAndComplete) {
+  Corpus corpus({Document{0, 1}, Document{1}, Document{0, 2}});
+  InvertedIndex index(corpus);
+  EXPECT_EQ(index.Postings(0).size(), 2u);
+  EXPECT_EQ(index.Postings(1).size(), 2u);
+  EXPECT_EQ(index.Postings(2).size(), 1u);
+  for (KeywordId w = 0; w < 3; ++w) {
+    auto list = index.Postings(w);
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+  }
+}
+
+TEST(InvertedIndex, PostingsOutOfVocabEmpty) {
+  Corpus corpus({Document{0}});
+  InvertedIndex index(corpus);
+  EXPECT_TRUE(index.Postings(99).empty());
+}
+
+TEST(InvertedIndex, IntersectPair) {
+  Corpus corpus({Document{0, 1}, Document{0}, Document{0, 1, 2}});
+  InvertedIndex index(corpus);
+  std::vector<KeywordId> q = {0, 1};
+  EXPECT_EQ(index.Intersect(q), (std::vector<ObjectId>{0, 2}));
+}
+
+TEST(InvertedIndex, IntersectWithAbsentKeywordIsEmpty) {
+  Corpus corpus({Document{0, 1}});
+  InvertedIndex index(corpus);
+  std::vector<KeywordId> q = {0, 7};
+  EXPECT_TRUE(index.Intersect(q).empty());
+  EXPECT_TRUE(index.IntersectionEmpty(q));
+}
+
+TEST(InvertedIndex, EmptinessEarlyExit) {
+  Corpus corpus({Document{0, 1}, Document{0, 1}});
+  InvertedIndex index(corpus);
+  std::vector<KeywordId> q = {0, 1};
+  EXPECT_FALSE(index.IntersectionEmpty(q));
+}
+
+TEST(InvertedIndex, IntersectMatchesBruteForceRandomized) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random corpus of 200 objects over 12 keywords.
+    std::vector<Document> docs;
+    for (int i = 0; i < 200; ++i) {
+      std::vector<KeywordId> kws;
+      for (KeywordId w = 0; w < 12; ++w) {
+        if (rng.NextBool(0.3)) kws.push_back(w);
+      }
+      if (kws.empty()) kws.push_back(static_cast<KeywordId>(rng.NextBounded(12)));
+      docs.emplace_back(std::move(kws));
+    }
+    Corpus corpus(std::move(docs));
+    InvertedIndex index(corpus);
+    for (int k : {2, 3, 4}) {
+      std::vector<KeywordId> q;
+      while (q.size() < static_cast<size_t>(k)) {
+        KeywordId w = static_cast<KeywordId>(rng.NextBounded(12));
+        if (std::find(q.begin(), q.end(), w) == q.end()) q.push_back(w);
+      }
+      std::vector<ObjectId> expected;
+      for (ObjectId e = 0; e < corpus.num_objects(); ++e) {
+        if (corpus.ContainsAll(e, q)) expected.push_back(e);
+      }
+      EXPECT_EQ(index.Intersect(q), expected);
+      EXPECT_EQ(index.IntersectionEmpty(q), expected.empty());
+    }
+  }
+}
+
+TEST(InvertedIndex, DuplicateQueryKeywordsTolerated) {
+  Corpus corpus({Document{0, 1}, Document{0}});
+  InvertedIndex index(corpus);
+  std::vector<KeywordId> q = {0, 0};
+  EXPECT_EQ(index.Intersect(q), (std::vector<ObjectId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace kwsc

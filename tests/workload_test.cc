@@ -1,0 +1,184 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the synthetic workload generators: determinism, shape of the
+// generated corpora, and the selectivity contracts of the query makers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+TEST(GenerateCorpus, RespectsSpec) {
+  Rng rng(1);
+  CorpusSpec spec;
+  spec.num_objects = 500;
+  spec.vocab_size = 50;
+  spec.min_doc_len = 3;
+  spec.max_doc_len = 7;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  EXPECT_EQ(corpus.num_objects(), 500u);
+  EXPECT_LE(corpus.vocab_size(), 50u);
+  for (ObjectId e = 0; e < corpus.num_objects(); ++e) {
+    EXPECT_GE(corpus.doc(e).size(), 3u);
+    EXPECT_LE(corpus.doc(e).size(), 7u);
+  }
+}
+
+TEST(GenerateCorpus, DeterministicFromSeed) {
+  CorpusSpec spec;
+  spec.num_objects = 100;
+  spec.vocab_size = 30;
+  Rng a(7);
+  Rng b(7);
+  Corpus ca = GenerateCorpus(spec, &a);
+  Corpus cb = GenerateCorpus(spec, &b);
+  ASSERT_EQ(ca.num_objects(), cb.num_objects());
+  for (ObjectId e = 0; e < ca.num_objects(); ++e) {
+    EXPECT_EQ(ca.doc(e), cb.doc(e));
+  }
+}
+
+TEST(GenerateCorpus, ZipfSkewConcentratesPopularKeywords) {
+  Rng rng(11);
+  CorpusSpec spec;
+  spec.num_objects = 2000;
+  spec.vocab_size = 100;
+  spec.zipf_skew = 1.2;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  std::vector<int> counts(100, 0);
+  for (ObjectId e = 0; e < corpus.num_objects(); ++e) {
+    for (KeywordId w : corpus.doc(e)) ++counts[w];
+  }
+  // Keyword 0 must occur far more often than keyword 50.
+  EXPECT_GT(counts[0], 4 * std::max(counts[50], 1));
+}
+
+TEST(PickQueryKeywords, DistinctAndWithinVocab) {
+  Rng rng(13);
+  CorpusSpec spec;
+  spec.num_objects = 300;
+  spec.vocab_size = 40;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  for (auto pick : {KeywordPick::kFrequent, KeywordPick::kUniform,
+                    KeywordPick::kCooccurring}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      auto kws = PickQueryKeywords(corpus, 3, pick, &rng);
+      ASSERT_EQ(kws.size(), 3u);
+      std::sort(kws.begin(), kws.end());
+      EXPECT_EQ(std::unique(kws.begin(), kws.end()), kws.end());
+      EXPECT_LT(kws.back(), corpus.vocab_size());
+    }
+  }
+}
+
+TEST(PickQueryKeywords, CooccurringGuaranteesWitness) {
+  Rng rng(17);
+  CorpusSpec spec;
+  spec.num_objects = 200;
+  spec.vocab_size = 60;
+  spec.min_doc_len = 3;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto kws = PickQueryKeywords(corpus, 3, KeywordPick::kCooccurring, &rng);
+    bool witness = false;
+    for (ObjectId e = 0; e < corpus.num_objects() && !witness; ++e) {
+      witness = corpus.ContainsAll(e, kws);
+    }
+    EXPECT_TRUE(witness) << "trial " << trial;
+  }
+}
+
+TEST(GeneratePoints, StaysInRange) {
+  Rng rng(19);
+  for (auto dist : {PointDistribution::kUniform, PointDistribution::kClustered,
+                    PointDistribution::kDiagonal}) {
+    auto pts = GeneratePoints<3>(500, dist, &rng, -2.0, 5.0);
+    for (const auto& p : pts) {
+      for (int dim = 0; dim < 3; ++dim) {
+        EXPECT_GE(p[dim], -2.0);
+        EXPECT_LE(p[dim], 5.0);
+      }
+    }
+  }
+}
+
+TEST(GenerateIntPoints, BoundedByMaxCoord) {
+  Rng rng(23);
+  auto pts =
+      GenerateIntPoints<2>(300, PointDistribution::kUniform, &rng, 1000);
+  for (const auto& p : pts) {
+    for (int dim = 0; dim < 2; ++dim) {
+      EXPECT_GE(p[dim], 0);
+      EXPECT_LE(p[dim], 1000);
+    }
+  }
+}
+
+TEST(GenerateBoxQuery, SelectivityRoughlyHonored) {
+  Rng rng(29);
+  auto pts = GeneratePoints<2>(5000, PointDistribution::kUniform, &rng);
+  double total_fraction = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto q = GenerateBoxQuery(std::span<const Point<2>>(pts), 0.1, &rng);
+    size_t inside = 0;
+    for (const auto& p : pts) inside += q.Contains(p);
+    total_fraction += static_cast<double>(inside) / pts.size();
+  }
+  // Boxes centered at data points near the boundary are clipped, so the
+  // average lands a little under the target.
+  EXPECT_NEAR(total_fraction / trials, 0.1, 0.05);
+}
+
+TEST(GenerateHalfspaceQuery, SelectivityExactQuantile) {
+  Rng rng(31);
+  auto pts = GeneratePoints<2>(2000, PointDistribution::kClustered, &rng);
+  for (double sel : {0.1, 0.5, 0.9}) {
+    auto h = GenerateHalfspaceQuery(std::span<const Point<2>>(pts), sel, &rng);
+    size_t inside = 0;
+    for (const auto& p : pts) inside += h.Satisfies(p);
+    EXPECT_NEAR(static_cast<double>(inside) / pts.size(), sel, 0.02);
+  }
+}
+
+TEST(GenerateBallQuery, SelectivityExactQuantile) {
+  Rng rng(37);
+  auto pts = GeneratePoints<2>(2000, PointDistribution::kUniform, &rng);
+  for (double sel : {0.05, 0.3}) {
+    auto [center, radius_sq] =
+        GenerateBallQuery(std::span<const Point<2>>(pts), sel, &rng);
+    size_t inside = 0;
+    for (const auto& p : pts) {
+      inside += L2DistanceSquared(p, center) <= radius_sq;
+    }
+    EXPECT_NEAR(static_cast<double>(inside) / pts.size(), sel, 0.02);
+  }
+}
+
+TEST(GenerateRects, ValidRectangles) {
+  Rng rng(41);
+  auto rects = GenerateRects<2>(300, PointDistribution::kUniform, 0.05, &rng);
+  for (const auto& r : rects) EXPECT_TRUE(r.Valid());
+}
+
+TEST(GenerateKsiSets, SizesAndDistinctness) {
+  Rng rng(43);
+  auto sets = GenerateKsiSets(10, 1000, 50, &rng);
+  ASSERT_EQ(sets.size(), 10u);
+  for (const auto& s : sets) {
+    EXPECT_GE(s.size(), 1u);
+    std::vector<int64_t> sorted(s);
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+  // Zipf sizing: the first set is the biggest.
+  EXPECT_GE(sets[0].size(), sets[9].size());
+}
+
+}  // namespace
+}  // namespace kwsc
