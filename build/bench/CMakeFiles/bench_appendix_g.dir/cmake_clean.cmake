@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_g.dir/bench_appendix_g.cc.o"
+  "CMakeFiles/bench_appendix_g.dir/bench_appendix_g.cc.o.d"
+  "bench_appendix_g"
+  "bench_appendix_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

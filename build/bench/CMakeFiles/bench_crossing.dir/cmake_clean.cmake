@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossing.dir/bench_crossing.cc.o"
+  "CMakeFiles/bench_crossing.dir/bench_crossing.cc.o.d"
+  "bench_crossing"
+  "bench_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

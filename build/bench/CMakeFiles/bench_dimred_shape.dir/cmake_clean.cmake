@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dimred_shape.dir/bench_dimred_shape.cc.o"
+  "CMakeFiles/bench_dimred_shape.dir/bench_dimred_shape.cc.o.d"
+  "bench_dimred_shape"
+  "bench_dimred_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dimred_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

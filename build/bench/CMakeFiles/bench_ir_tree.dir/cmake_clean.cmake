@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ir_tree.dir/bench_ir_tree.cc.o"
+  "CMakeFiles/bench_ir_tree.dir/bench_ir_tree.cc.o.d"
+  "bench_ir_tree"
+  "bench_ir_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ir_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

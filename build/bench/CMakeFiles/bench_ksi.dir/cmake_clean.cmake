@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ksi.dir/bench_ksi.cc.o"
+  "CMakeFiles/bench_ksi.dir/bench_ksi.cc.o.d"
+  "bench_ksi"
+  "bench_ksi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ksi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lc_kw.dir/bench_lc_kw.cc.o"
+  "CMakeFiles/bench_lc_kw.dir/bench_lc_kw.cc.o.d"
+  "bench_lc_kw"
+  "bench_lc_kw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lc_kw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nn_linf.dir/bench_nn_linf.cc.o"
+  "CMakeFiles/bench_nn_linf.dir/bench_nn_linf.cc.o.d"
+  "bench_nn_linf"
+  "bench_nn_linf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn_linf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

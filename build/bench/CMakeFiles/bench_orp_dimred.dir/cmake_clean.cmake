@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orp_dimred.dir/bench_orp_dimred.cc.o"
+  "CMakeFiles/bench_orp_dimred.dir/bench_orp_dimred.cc.o.d"
+  "bench_orp_dimred"
+  "bench_orp_dimred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orp_dimred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

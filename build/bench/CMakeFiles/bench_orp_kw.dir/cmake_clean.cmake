@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orp_kw.dir/bench_orp_kw.cc.o"
+  "CMakeFiles/bench_orp_kw.dir/bench_orp_kw.cc.o.d"
+  "bench_orp_kw"
+  "bench_orp_kw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orp_kw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

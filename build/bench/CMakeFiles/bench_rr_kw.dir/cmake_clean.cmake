@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rr_kw.dir/bench_rr_kw.cc.o"
+  "CMakeFiles/bench_rr_kw.dir/bench_rr_kw.cc.o.d"
+  "bench_rr_kw"
+  "bench_rr_kw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rr_kw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_srp_kw.dir/bench_srp_kw.cc.o"
+  "CMakeFiles/bench_srp_kw.dir/bench_srp_kw.cc.o.d"
+  "bench_srp_kw"
+  "bench_srp_kw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_srp_kw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

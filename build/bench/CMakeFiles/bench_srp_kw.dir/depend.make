@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_srp_kw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_poi.dir/geo_poi.cpp.o"
+  "CMakeFiles/geo_poi.dir/geo_poi.cpp.o.d"
+  "geo_poi"
+  "geo_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_reload.dir/persist_reload.cpp.o"
+  "CMakeFiles/persist_reload.dir/persist_reload.cpp.o.d"
+  "persist_reload"
+  "persist_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_news.dir/temporal_news.cpp.o"
+  "CMakeFiles/temporal_news.dir/temporal_news.cpp.o.d"
+  "temporal_news"
+  "temporal_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

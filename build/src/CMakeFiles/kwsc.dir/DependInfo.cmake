@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/memory.cc" "src/CMakeFiles/kwsc.dir/common/memory.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/common/memory.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/kwsc.dir/common/random.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/common/random.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/kwsc.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/common/zipf.cc.o.d"
+  "/root/repo/src/core/balanced_cut.cc" "src/CMakeFiles/kwsc.dir/core/balanced_cut.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/core/balanced_cut.cc.o.d"
+  "/root/repo/src/core/node_directory.cc" "src/CMakeFiles/kwsc.dir/core/node_directory.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/core/node_directory.cc.o.d"
+  "/root/repo/src/core/sp_kw_hs.cc" "src/CMakeFiles/kwsc.dir/core/sp_kw_hs.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/core/sp_kw_hs.cc.o.d"
+  "/root/repo/src/geom/lp.cc" "src/CMakeFiles/kwsc.dir/geom/lp.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/geom/lp.cc.o.d"
+  "/root/repo/src/geom/polygon2d.cc" "src/CMakeFiles/kwsc.dir/geom/polygon2d.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/geom/polygon2d.cc.o.d"
+  "/root/repo/src/ksi/framework_ksi.cc" "src/CMakeFiles/kwsc.dir/ksi/framework_ksi.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/ksi/framework_ksi.cc.o.d"
+  "/root/repo/src/ksi/ksi_instance.cc" "src/CMakeFiles/kwsc.dir/ksi/ksi_instance.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/ksi/ksi_instance.cc.o.d"
+  "/root/repo/src/ksi/naive_ksi.cc" "src/CMakeFiles/kwsc.dir/ksi/naive_ksi.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/ksi/naive_ksi.cc.o.d"
+  "/root/repo/src/parttree/ham_sandwich.cc" "src/CMakeFiles/kwsc.dir/parttree/ham_sandwich.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/parttree/ham_sandwich.cc.o.d"
+  "/root/repo/src/text/corpus.cc" "src/CMakeFiles/kwsc.dir/text/corpus.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/text/corpus.cc.o.d"
+  "/root/repo/src/text/document.cc" "src/CMakeFiles/kwsc.dir/text/document.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/text/document.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/kwsc.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/kwsc.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/kwsc.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/kwsc.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

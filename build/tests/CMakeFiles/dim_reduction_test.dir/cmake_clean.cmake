@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dim_reduction_test.dir/dim_reduction_test.cc.o"
+  "CMakeFiles/dim_reduction_test.dir/dim_reduction_test.cc.o.d"
+  "dim_reduction_test"
+  "dim_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dim_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

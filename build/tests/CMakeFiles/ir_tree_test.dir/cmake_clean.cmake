@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tree_test.dir/ir_tree_test.cc.o"
+  "CMakeFiles/ir_tree_test.dir/ir_tree_test.cc.o.d"
+  "ir_tree_test"
+  "ir_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksi_test.dir/ksi_test.cc.o"
+  "CMakeFiles/ksi_test.dir/ksi_test.cc.o.d"
+  "ksi_test"
+  "ksi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_directory_test.dir/node_directory_test.cc.o"
+  "CMakeFiles/node_directory_test.dir/node_directory_test.cc.o.d"
+  "node_directory_test"
+  "node_directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

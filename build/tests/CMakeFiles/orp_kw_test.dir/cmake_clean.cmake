@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_kw_test.dir/orp_kw_test.cc.o"
+  "CMakeFiles/orp_kw_test.dir/orp_kw_test.cc.o.d"
+  "orp_kw_test"
+  "orp_kw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_kw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

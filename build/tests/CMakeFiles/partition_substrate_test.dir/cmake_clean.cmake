@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_substrate_test.dir/partition_substrate_test.cc.o"
+  "CMakeFiles/partition_substrate_test.dir/partition_substrate_test.cc.o.d"
+  "partition_substrate_test"
+  "partition_substrate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_kw_test.dir/rr_kw_test.cc.o"
+  "CMakeFiles/rr_kw_test.dir/rr_kw_test.cc.o.d"
+  "rr_kw_test"
+  "rr_kw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_kw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

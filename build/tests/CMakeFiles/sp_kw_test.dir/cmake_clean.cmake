@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_kw_test.dir/sp_kw_test.cc.o"
+  "CMakeFiles/sp_kw_test.dir/sp_kw_test.cc.o.d"
+  "sp_kw_test"
+  "sp_kw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_kw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

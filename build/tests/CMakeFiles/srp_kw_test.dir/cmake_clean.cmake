@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_kw_test.dir/srp_kw_test.cc.o"
+  "CMakeFiles/srp_kw_test.dir/srp_kw_test.cc.o.d"
+  "srp_kw_test"
+  "srp_kw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_kw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
