@@ -22,7 +22,8 @@ namespace kwsc {
 namespace {
 
 template <typename BuildFn>
-void Sweep(const char* name, BuildFn&& build) {
+void Sweep(const char* name, double index_id, bench::JsonReport* report,
+           BuildFn&& build) {
   std::printf("\n-- %s --\n", name);
   std::printf("%10s %14s %14s\n", "N", "build(ms)", "bytes/N");
   std::vector<double> ns;
@@ -38,15 +39,19 @@ void Sweep(const char* name, BuildFn&& build) {
     const size_t bytes = build(corpus, &rng);
     const double ms = timer.ElapsedMillis();
     std::printf("%10.0f %14.2f %14.1f\n", n, ms, bytes / n);
-    bench::PrintCsv("B", {{"N", n},
-                          {"build_ms", ms},
-                          {"bytes_per_N", bytes / n}});
+    bench::PrintCsv("B",
+                    {{"index", index_id},
+                     {"N", n},
+                     {"build_ms", ms},
+                     {"bytes_per_N", bytes / n}},
+                    report);
     ns.push_back(n);
     times.push_back(ms);
   }
   bench::PrintExponent(std::string("B build time [") + name + "]",
                        bench::FitLogLogSlope(ns, times),
-                       1.0);  // Near-linear (polylog factors expected).
+                       1.0,  // Near-linear (polylog factors expected).
+                       report);
 }
 
 }  // namespace
@@ -60,32 +65,36 @@ int main() {
       "the paper's analysis but inside a user's budget");
   FrameworkOptions opt;
   opt.k = 2;
+  bench::JsonReport report("build");
 
-  Sweep("OrpKwIndex<2> (Theorem 1)", [&](const Corpus& corpus, Rng* rng) {
-    auto pts = GeneratePoints<2>(corpus.num_objects(),
-                                 PointDistribution::kUniform, rng);
-    OrpKwIndex<2> index(pts, &corpus, opt);
-    return index.MemoryBytes();
-  });
-  Sweep("SpKwHsIndex (partition tree d=2)",
+  Sweep("OrpKwIndex<2> (Theorem 1)", 0, &report,
+        [&](const Corpus& corpus, Rng* rng) {
+          auto pts = GeneratePoints<2>(corpus.num_objects(),
+                                       PointDistribution::kUniform, rng);
+          OrpKwIndex<2> index(pts, &corpus, opt);
+          return index.MemoryBytes();
+        });
+  Sweep("SpKwHsIndex (partition tree d=2)", 1, &report,
         [&](const Corpus& corpus, Rng* rng) {
           auto pts = GeneratePoints<2>(corpus.num_objects(),
                                        PointDistribution::kUniform, rng);
           SpKwHsIndex index(pts, &corpus, opt);
           return index.MemoryBytes();
         });
-  Sweep("SpKwBoxIndex<3>", [&](const Corpus& corpus, Rng* rng) {
+  Sweep("SpKwBoxIndex<3>", 2, &report, [&](const Corpus& corpus, Rng* rng) {
     auto pts = GeneratePoints<3>(corpus.num_objects(),
                                  PointDistribution::kUniform, rng);
     SpKwBoxIndex<3> index(pts, &corpus, opt);
     return index.MemoryBytes();
   });
-  Sweep("DimRedOrpKwIndex<3> (Theorem 2)",
+  Sweep("DimRedOrpKwIndex<3> (Theorem 2)", 3, &report,
         [&](const Corpus& corpus, Rng* rng) {
           auto pts = GeneratePoints<3>(corpus.num_objects(),
                                        PointDistribution::kUniform, rng);
           DimRedOrpKwIndex<3> index(pts, &corpus, opt);
           return index.MemoryBytes();
         });
+  const std::string path = report.Write();
+  if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
   return 0;
 }

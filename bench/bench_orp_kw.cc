@@ -24,6 +24,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "core/orp_kw.h"
+#include "core/query_engine.h"
 #include "workload/generator.h"
 
 namespace kwsc {
@@ -47,9 +48,9 @@ void RunForK(int k) {
   for (const Workload& w : workloads) {
     std::printf(
         "\n-- k=%d %s --\n"
-        "%10s %12s %14s %14s %14s %10s\n",
-        k, w.name, "N", "OUT(avg)", "index(us)", "struct(us)", "kwonly(us)",
-        "examined");
+        "%10s %12s %14s %14s %14s %14s %10s\n",
+        k, w.name, "N", "OUT(avg)", "index(us)", "batch(us)", "struct(us)",
+        "kwonly(us)", "examined");
     std::vector<double> ns;
     std::vector<double> index_times;
     for (uint32_t n_objects : {4096u, 8192u, 16384u, 32768u, 65536u,
@@ -71,12 +72,16 @@ void RunForK(int k) {
       // Pre-generate a query batch shared by all contenders.
       std::vector<Box<2>> boxes;
       std::vector<std::vector<KeywordId>> kws;
+      std::vector<BatchQuery<Box<2>>> batch;
       for (int i = 0; i < kQueries; ++i) {
         boxes.push_back(GenerateBoxQuery(std::span<const Point<2>>(pts),
                                          w.selectivity, &rng));
         kws.push_back(
             PickQueryKeywords(corpus, k, w.pick, &rng, w.frequent_pool));
+        batch.push_back({boxes.back(), kws.back()});
       }
+      // The same batch through the sharded engine, at hardware concurrency.
+      QueryEngine<OrpKwIndex<2>> engine(&index, /*num_threads=*/0);
 
       uint64_t out_total = 0;
       uint64_t examined_total = 0;
@@ -97,18 +102,23 @@ void RunForK(int k) {
       const double t_kw = bench::MedianMicros([&] {
         for (int i = 0; i < kQueries; ++i) keywords.QueryBox(boxes[i], kws[i]);
       }) / kQueries;
+      const double t_batch = bench::MedianMicros([&] {
+        engine.Run(batch);
+      }) / kQueries;
 
       const double n_weight = static_cast<double>(corpus.total_weight());
       const double out_avg = static_cast<double>(out_total) / kQueries;
       const double examined_avg =
           static_cast<double>(examined_total) / kQueries;
-      std::printf("%10.0f %12.1f %14.2f %14.2f %14.2f %10.1f\n", n_weight,
-                  out_avg, t_index, t_struct, t_kw, examined_avg);
+      std::printf("%10.0f %12.1f %14.2f %14.2f %14.2f %14.2f %10.1f\n",
+                  n_weight, out_avg, t_index, t_batch, t_struct, t_kw,
+                  examined_avg);
       bench::PrintCsv("T1.1", {{"k", double(k)},
                                {"workload", double(&w - workloads)},
                                {"N", n_weight},
                                {"OUT", out_avg},
                                {"index_us", t_index},
+                               {"batch_us", t_batch},
                                {"structured_us", t_struct},
                                {"keywords_us", t_kw},
                                {"examined", examined_avg}});

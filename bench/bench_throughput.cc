@@ -1,0 +1,153 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Experiment THR — multi-core scaling. The paper's bounds are per-query;
+// build-time and batch-throughput scaling across threads are implementation
+// properties this bench makes machine-trackable:
+//   * build: wall-clock of OrpKwIndex construction at 1/2/4/8 threads, with
+//     a byte-identity check of the Save stream against the 1-thread build
+//     (the determinism contract of the arena-splice parallel build);
+//   * query: QPS of the batched engine (core/query_engine.h) over a fixed
+//     mixed batch at 1/2/4/8 threads.
+// Speedups are relative to the 1-thread run; on a machine with fewer cores
+// than threads the extra threads cannot help — the `identical` flag must
+// hold regardless.
+
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/orp_kw.h"
+#include "core/query_engine.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+constexpr uint32_t kObjects = 65536;
+constexpr int kQueries = 1024;
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
+
+std::string SaveBytes(const OrpKwIndex<2>& index) {
+  std::stringstream stream;
+  index.Save(&stream);
+  return stream.str();
+}
+
+void Run() {
+  bench::JsonReport report("throughput");
+  Rng rng(kObjects * 3 + 7);
+  CorpusSpec spec;
+  spec.num_objects = kObjects;
+  spec.vocab_size = std::max<uint32_t>(64, kObjects / 16);
+  spec.zipf_skew = 1.0;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(kObjects, PointDistribution::kUniform, &rng);
+  const double n_weight = static_cast<double>(corpus.total_weight());
+
+  // --- Build scaling ------------------------------------------------------
+  {
+    // Untimed warm-up: the first build pays allocator and page-cache
+    // warm-up that would otherwise be billed to whichever thread count
+    // happens to run first.
+    FrameworkOptions opt;
+    opt.k = 2;
+    OrpKwIndex<2> warmup(pts, &corpus, opt);
+  }
+  std::printf("\n-- build, N=%.0f --\n", n_weight);
+  std::printf("%8s %12s %10s %10s\n", "threads", "build(ms)", "speedup",
+              "identical");
+  std::string sequential_bytes;
+  double sequential_ms = 0.0;
+  std::optional<OrpKwIndex<2>> query_index;
+  for (int threads : kThreadSweep) {
+    FrameworkOptions opt;
+    opt.k = 2;
+    opt.num_threads = threads;
+    WallTimer timer;
+    OrpKwIndex<2> index(pts, &corpus, opt);
+    const double ms = timer.ElapsedMillis();
+    const std::string bytes = SaveBytes(index);
+    if (threads == 1) {
+      sequential_bytes = bytes;
+      sequential_ms = ms;
+      query_index.emplace(std::move(index));
+    }
+    const bool identical = bytes == sequential_bytes;
+    const double speedup = ms > 0 ? sequential_ms / ms : 0.0;
+    std::printf("%8d %12.2f %10.2f %10s\n", threads, ms, speedup,
+                identical ? "yes" : "NO");
+    bench::PrintCsv("THR-build",
+                    {{"N", n_weight},
+                     {"threads", double(threads)},
+                     {"build_ms", ms},
+                     {"speedup", speedup},
+                     {"identical", identical ? 1.0 : 0.0}},
+                    &report);
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: %d-thread build diverged from sequential build\n",
+                   threads);
+      std::exit(1);
+    }
+  }
+
+  // --- Batched query scaling ---------------------------------------------
+  // Mixed batch: half selective boxes with frequent keywords, half broad
+  // boxes with co-occurring keywords (the W1/W2 regimes of bench_orp_kw).
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < kQueries; ++i) {
+    const bool selective = i % 2 == 0;
+    batch.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts),
+                          selective ? 0.001 : 0.2, &rng),
+         PickQueryKeywords(corpus, 2,
+                           selective ? KeywordPick::kFrequent
+                                     : KeywordPick::kCooccurring,
+                           &rng)});
+  }
+
+  std::printf("\n-- batched queries, %d per batch --\n", kQueries);
+  std::printf("%8s %12s %12s %10s %12s\n", "threads", "batch(us)", "QPS",
+              "speedup", "results");
+  double single_thread_us = 0.0;
+  for (int threads : kThreadSweep) {
+    QueryEngine<OrpKwIndex<2>> engine(&*query_index, threads);
+    const auto stats_probe = engine.Run(batch);
+    const double us = bench::MedianMicros([&] { engine.Run(batch); });
+    if (threads == 1) single_thread_us = us;
+    const double qps = us > 0 ? kQueries / (us / 1e6) : 0.0;
+    const double speedup = us > 0 ? single_thread_us / us : 0.0;
+    std::printf("%8d %12.0f %12.0f %10.2f %12llu\n", threads, us, qps,
+                speedup,
+                static_cast<unsigned long long>(stats_probe.stats.results));
+    bench::PrintCsv("THR-query",
+                    {{"N", n_weight},
+                     {"threads", double(threads)},
+                     {"batch_us", us},
+                     {"qps", qps},
+                     {"speedup", speedup},
+                     {"results", double(stats_probe.stats.results)}},
+                    &report);
+  }
+
+  const std::string path = report.Write();
+  if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace kwsc
+
+int main() {
+  kwsc::bench::PrintHeader(
+      "THR build + batched-query thread scaling",
+      "parallel build is byte-identical to sequential and faster on "
+      "multi-core; batched QPS scales with threads (per-query bounds are "
+      "untouched)");
+  kwsc::Run();
+  return 0;
+}

@@ -83,6 +83,92 @@ inline void PrintExponent(const std::string& label, double measured,
               label.c_str(), measured, expected);
 }
 
+/// Machine-trackable bench output: collects the sweep points and fitted
+/// exponents a bench prints and writes them as BENCH_<name>.json in the
+/// working directory, so successive runs can be diffed by tooling instead of
+/// by scraping stdout. Keys are bench-authored identifiers (no escaping);
+/// non-finite values become JSON null.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void AddPoint(const std::vector<std::pair<std::string, double>>& kv) {
+    points_.push_back(kv);
+  }
+
+  void AddExponent(const std::string& label, double measured,
+                   double expected) {
+    exponents_.push_back({label, measured, expected});
+  }
+
+  /// Returns the path written, or "" on failure (reported on stderr — a
+  /// bench should still finish its stdout protocol).
+  std::string Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n",
+                   path.c_str());
+      return "";
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"points\": [", name_.c_str());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      for (size_t j = 0; j < points_[i].size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     points_[i][j].first.c_str(),
+                     Num(points_[i][j].second).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ],\n  \"exponents\": [");
+    for (size_t i = 0; i < exponents_.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"label\": \"%s\", \"measured\": %s, "
+                   "\"expected\": %s}",
+                   i == 0 ? "" : ",", exponents_[i].label.c_str(),
+                   Num(exponents_[i].measured).c_str(),
+                   Num(exponents_[i].expected).c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  struct Exponent {
+    std::string label;
+    double measured;
+    double expected;
+  };
+
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, double>>> points_;
+  std::vector<Exponent> exponents_;
+};
+
+/// PrintCsv that also records the row into a report (nullptr = print only).
+inline void PrintCsv(const std::string& experiment,
+                     const std::vector<std::pair<std::string, double>>& kv,
+                     JsonReport* report) {
+  if (report != nullptr) report->AddPoint(kv);
+  PrintCsv(experiment, kv);
+}
+
+/// PrintExponent that also records into a report (nullptr = print only).
+inline void PrintExponent(const std::string& label, double measured,
+                          double expected, JsonReport* report) {
+  if (report != nullptr) report->AddExponent(label, measured, expected);
+  PrintExponent(label, measured, expected);
+}
+
 }  // namespace bench
 }  // namespace kwsc
 

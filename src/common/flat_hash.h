@@ -83,9 +83,21 @@ class FlatHashMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Removes all entries but keeps the allocated capacity (for reuse as a
-  /// scratch table across many small batches).
+  /// Removes all entries. Keeps the allocated capacity when occupancy is
+  /// reasonable, but shrinks the probe range when the last batch filled less
+  /// than 1/8 of the table: a scratch table reused across batches of
+  /// shrinking size (e.g. one DirectoryBuilder walking a whole kd-tree)
+  /// would otherwise keep its largest batch's capacity forever, making every
+  /// later Clear and ForEach pay O(max capacity) instead of O(batch).
   void Clear() {
+    if (slots_.size() > 64 && 8 * size_ < slots_.size()) {
+      const size_t cap = internal_flat_hash::TableCapacityFor(2 * size_);
+      slots_.assign(cap, {});
+      used_.assign(cap, 0);
+      mask_ = cap - 1;
+      size_ = 0;
+      return;
+    }
     std::fill(used_.begin(), used_.end(), 0);
     size_ = 0;
   }

@@ -1,0 +1,114 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "common/thread_pool.h"
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+ThreadPool::ThreadPool(int num_workers) {
+  KWSC_CHECK(num_workers >= 1);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Every TaskGroup waits before destruction, so nothing can be left queued.
+  KWSC_CHECK(queue_.empty());
+}
+
+void ThreadPool::Enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KWSC_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task.fn();
+  task.group->OnTaskDone();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping so no task is ever dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+    task.group->OnTaskDone();
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Enqueue({std::move(fn), this});
+}
+
+void TaskGroup::Wait() {
+  if (pool_ == nullptr) return;
+  for (;;) {
+    // Every exit path observes pending_ == 0 while holding mu_. OnTaskDone
+    // performs its final decrement and notify inside the same lock, so by
+    // the time Wait() can return, the last worker has released mu_ and will
+    // never touch this group again — the caller may destroy it immediately.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_.load(std::memory_order_acquire) == 0) return;
+    }
+    // Help: run queued tasks (this group's or anyone's) instead of blocking,
+    // so nested fork/join on one shared pool cannot deadlock.
+    if (pool_->RunOneTask()) continue;
+    // Queue empty but tasks outstanding: they are running on other threads.
+    // Sleep until the last one signals.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+    return;
+  }
+}
+
+void TaskGroup::OnTaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Decrement under the lock: a waiter must not be able to see zero (and
+  // destroy the group) before this thread is done touching cv_ and mu_.
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    cv_.notify_all();
+  }
+}
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+}  // namespace kwsc

@@ -1,0 +1,109 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// A dependency-light task pool for fork/join parallelism.
+//
+// The library needs parallelism in exactly two shapes: recursive fork/join
+// during index construction (subtrees build independently, then join), and
+// flat sharding of query batches (core/query_engine.h). Both are served by a
+// fixed set of workers pulling from one FIFO queue — no work stealing, no
+// per-thread deques. The subtle requirement is nesting: a construction task
+// forks child tasks onto the *same* pool and waits for them, so a blocking
+// join could deadlock once every worker is a waiter. TaskGroup::Wait avoids
+// that by helping: while its tasks are outstanding it pops and runs queued
+// tasks (anyone's) instead of sleeping, so some thread always makes progress.
+//
+// Indexes are immutable after construction (the contract exercised by
+// tests/concurrency_test.cc), which is what makes the query-side sharding
+// synchronization-free.
+
+#ifndef KWSC_COMMON_THREAD_POOL_H_
+#define KWSC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kwsc {
+
+class TaskGroup;
+
+/// Fixed set of worker threads over a FIFO task queue. Tasks are submitted
+/// through a TaskGroup, never directly; the pool itself only runs them.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` >= 1 threads. The caller participates too (see
+  /// TaskGroup::Wait), so a pool for T-way parallelism wants T - 1 workers.
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Threads that can make progress simultaneously: the workers plus the
+  /// caller helping from TaskGroup::Wait.
+  int parallelism() const { return num_workers() + 1; }
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  void Enqueue(Task task);
+
+  /// Pops and runs one queued task; returns false if the queue was empty.
+  bool RunOneTask();
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// A fork/join scope: Run() submits tasks, Wait() blocks until every task
+/// submitted through this group has finished. Wait() helps drain the pool's
+/// queue while waiting, so nested groups (a task forking its own subtasks)
+/// cannot deadlock. The destructor waits, so a group never outlives its
+/// outstanding tasks — references captured by the tasks may safely point
+/// into the enclosing frame.
+///
+/// A null pool makes Run() execute the task inline, letting callers use one
+/// code path for sequential and parallel execution.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Run(std::function<void()> fn);
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+  void OnTaskDone();
+
+  ThreadPool* pool_;
+  std::atomic<uint64_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Resolves FrameworkOptions::num_threads: a positive request is taken
+/// verbatim, 0 means one thread per hardware thread (at least 1).
+int ResolveNumThreads(int requested);
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_THREAD_POOL_H_

@@ -30,6 +30,7 @@
 #include "common/macros.h"
 #include "common/memory.h"
 #include "common/ops_budget.h"
+#include "common/thread_pool.h"
 #include "core/balanced_cut.h"
 #include "core/framework.h"
 #include "core/orp_kw.h"
@@ -59,14 +60,26 @@ class DimRedOrpKwIndex {
   using LowerPoint = Point<D - 1, Scalar>;
   using LowerBox = Box<D - 1, Scalar>;
 
+  /// `pool`, when non-null, is a shared task pool (used when this index is
+  /// itself a secondary of a higher-dimensional one); otherwise
+  /// `options.num_threads` decides whether the build spins up its own. The
+  /// built tree is identical for every thread count.
   DimRedOrpKwIndex(std::span<const PointType> points, const Corpus* corpus,
-                   FrameworkOptions options)
+                   FrameworkOptions options, ThreadPool* pool = nullptr)
       : corpus_(corpus), options_(options),
         points_(points.begin(), points.end()) {
     KWSC_CHECK(corpus != nullptr);
     KWSC_CHECK(points.size() == corpus->num_objects());
     KWSC_CHECK(options_.k >= 2 && options_.k <= 8);
     if (points_.empty()) return;
+    std::unique_ptr<ThreadPool> owned_pool;
+    if (pool == nullptr) {
+      const int threads = ResolveNumThreads(options_.num_threads);
+      if (threads > 1) {
+        owned_pool = std::make_unique<ThreadPool>(threads - 1);
+        pool = owned_pool.get();
+      }
+    }
     std::vector<ObjectId> active(points_.size());
     std::iota(active.begin(), active.end(), 0);
     // Sort once by (x, id); balanced cuts preserve contiguity, so children
@@ -75,7 +88,13 @@ class DimRedOrpKwIndex {
       if (points_[a][0] != points_[b][0]) return points_[a][0] < points_[b][0];
       return a < b;
     });
-    BuildNode(active, /*level=*/0);
+    BuildContext ctx;
+    ctx.pool = pool;
+    // The doubly-exponential fanout makes even one forked level yield many
+    // subtree tasks; each task also forks inside its secondary build, so
+    // deep forking here would only add splice traffic.
+    ctx.fork_levels = pool == nullptr ? 0 : (pool->parallelism() > 8 ? 2 : 1);
+    BuildNode(active, /*level=*/0, &nodes_, &ctx);
   }
 
   int k() const { return options_.k; }
@@ -161,59 +180,123 @@ class DimRedOrpKwIndex {
     int16_t level = 0;
   };
 
-  uint32_t BuildNode(std::span<const ObjectId> active, int level) {
-    const uint32_t index = static_cast<uint32_t>(nodes_.size());
-    nodes_.emplace_back();
+  struct BuildContext {
+    ThreadPool* pool = nullptr;
+    int fork_levels = 0;
+  };
+
+  // Appends `sub` — a subtree arena in DFS preorder with arena-local child
+  // indices — onto `arena`, rebasing the indices, and returns the subtree
+  // root's index in `arena`. Splicing child arenas in group order after a
+  // forked build reproduces the sequential DFS preorder exactly.
+  static uint32_t SpliceArena(std::vector<Node>* arena, std::vector<Node>* sub) {
+    const uint32_t base = static_cast<uint32_t>(arena->size());
+    arena->reserve(arena->size() + sub->size());
+    for (Node& node : *sub) {
+      for (uint32_t& child : node.children) child += base;
+      arena->push_back(std::move(node));
+    }
+    sub->clear();
+    return base;
+  }
+
+  // Builds `node`'s secondary structure: a lambda-dimensional ORP-KW index
+  // over the whole active set, ignoring the x-dimension. Objects are
+  // renumbered locally; the sub-corpus copy is what costs the O(log log N)
+  // space factor. `pool` flows into the secondary build so its subtrees fork
+  // on the shared pool too.
+  void BuildSecondary(std::span<const ObjectId> active, Node* node,
+                      ThreadPool* pool) {
+    std::vector<Document> docs;
+    docs.reserve(active.size());
+    std::vector<LowerPoint> lower_points;
+    lower_points.reserve(active.size());
+    std::vector<ObjectId> id_map(active.begin(), active.end());
+    for (ObjectId e : active) {
+      docs.push_back(corpus_->doc(e));
+      LowerPoint p;
+      for (int dim = 1; dim < D; ++dim) p[dim - 1] = points_[e][dim];
+      lower_points.push_back(p);
+    }
+    auto sub_corpus = std::make_unique<Corpus>(std::move(docs));
+    // Parallelism flows through the shared pool only — a num_threads > 1
+    // setting must not make every secondary spin up a pool of its own.
+    FrameworkOptions sub_options = options_;
+    sub_options.num_threads = 1;
+    auto secondary = std::make_unique<Secondary>(
+        std::span<const LowerPoint>(lower_points), sub_corpus.get(),
+        sub_options, pool);
+    node->sub_corpus = std::move(sub_corpus);
+    node->secondary = std::move(secondary);
+    node->id_map = std::move(id_map);
+  }
+
+  uint32_t BuildNode(std::span<const ObjectId> active, int level,
+                     std::vector<Node>* arena, const BuildContext* ctx) {
+    const uint32_t index = static_cast<uint32_t>(arena->size());
+    arena->emplace_back();
     {
-      Node& node = nodes_[index];
+      Node& node = (*arena)[index];
       node.level = static_cast<int16_t>(level);
       node.sigma_lo = points_[active.front()][0];
       node.sigma_hi = points_[active.back()][0];
     }
 
     if (active.size() <= static_cast<size_t>(options_.leaf_objects)) {
-      nodes_[index].pivots.assign(active.begin(), active.end());
+      (*arena)[index].pivots.assign(active.begin(), active.end());
       return index;
     }
 
     const uint64_t fanout =
         FanoutForLevel(options_.k, level, /*max_fanout=*/active.size());
     const BalancedCut cut = ComputeBalancedCut(active, *corpus_, fanout);
-    nodes_[index].fanout = fanout;
-    nodes_[index].pivots = cut.separators;
+    (*arena)[index].fanout = fanout;
+    (*arena)[index].pivots = cut.separators;
 
-    // Secondary structure: a lambda-dimensional ORP-KW index over the whole
-    // active set, ignoring the x-dimension. Objects are renumbered locally;
-    // the sub-corpus copy is what costs the O(log log N) space factor.
-    {
-      std::vector<Document> docs;
-      docs.reserve(active.size());
-      std::vector<LowerPoint> lower_points;
-      lower_points.reserve(active.size());
-      std::vector<ObjectId> id_map(active.begin(), active.end());
-      for (ObjectId e : active) {
-        docs.push_back(corpus_->doc(e));
-        LowerPoint p;
-        for (int dim = 1; dim < D; ++dim) p[dim - 1] = points_[e][dim];
-        lower_points.push_back(p);
-      }
-      auto sub_corpus = std::make_unique<Corpus>(std::move(docs));
-      auto secondary = std::make_unique<Secondary>(
-          std::span<const LowerPoint>(lower_points), sub_corpus.get(),
-          options_);
-      nodes_[index].sub_corpus = std::move(sub_corpus);
-      nodes_[index].secondary = std::move(secondary);
-      nodes_[index].id_map = std::move(id_map);
-    }
-
-    // Recurse into non-empty groups. Slices of `active` remain sorted.
-    std::vector<uint32_t> children;
+    // Non-empty groups; slices of `active` remain sorted.
+    std::vector<std::span<const ObjectId>> child_spans;
     for (const BalancedCut::Group& g : cut.groups) {
       if (g.begin == g.end) continue;
-      children.push_back(
-          BuildNode(active.subspan(g.begin, g.end - g.begin), level + 1));
+      child_spans.push_back(active.subspan(g.begin, g.end - g.begin));
     }
-    nodes_[index].children = std::move(children);
+
+    if (ctx->pool == nullptr || level >= ctx->fork_levels) {
+      BuildSecondary(active, &(*arena)[index], ctx->pool);
+      std::vector<uint32_t> children;
+      children.reserve(child_spans.size());
+      for (std::span<const ObjectId> span : child_spans) {
+        children.push_back(BuildNode(span, level + 1, arena, ctx));
+      }
+      (*arena)[index].children = std::move(children);
+      return index;
+    }
+
+    // Fork: the secondary build and every child subtree are independent, so
+    // all of them become tasks; child subtrees build into private arenas
+    // spliced back in group order. The arenas vector is sized up front so
+    // the pointers handed to the tasks stay stable.
+    std::vector<std::vector<Node>> child_arenas(child_spans.size());
+    {
+      TaskGroup group(ctx->pool);
+      // Stable: this thread appends nothing to `arena` until the splice.
+      Node* node = &(*arena)[index];
+      group.Run([this, active, node, ctx] {
+        BuildSecondary(active, node, ctx->pool);
+      });
+      for (size_t i = 0; i < child_spans.size(); ++i) {
+        group.Run([this, span = child_spans[i], level,
+                   child_arena = &child_arenas[i], ctx] {
+          BuildNode(span, level + 1, child_arena, ctx);
+        });
+      }
+      group.Wait();
+    }
+    std::vector<uint32_t> children;
+    children.reserve(child_arenas.size());
+    for (std::vector<Node>& sub : child_arenas) {
+      children.push_back(SpliceArena(arena, &sub));
+    }
+    (*arena)[index].children = std::move(children);
     return index;
   }
 

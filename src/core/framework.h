@@ -24,11 +24,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/ops_budget.h"
+#include "common/serialize.h"
 #include "text/document.h"
 
 namespace kwsc {
@@ -63,10 +65,90 @@ struct FrameworkOptions {
   /// per node at a higher per-node cost; results are identical either way.
   bool exact_cell_tests = false;
 
+  /// Threads used to build the index (and, via core/query_engine.h, to shard
+  /// query batches): 0 = one per hardware thread, 1 = fully sequential.
+  /// Every setting produces the same index — parallel builds are
+  /// byte-identical under Save — so this is purely a wall-clock knob. It is
+  /// an execution property, not an index property, and is therefore excluded
+  /// from serialization (see PersistedFrameworkOptions).
+  int num_threads = 1;
+
   double EffectiveAlpha() const {
     return alpha > 0 ? alpha : 1.0 - 1.0 / static_cast<double>(k);
   }
 };
+
+/// The on-disk image of FrameworkOptions: exactly the fields that determine
+/// index structure, in the seed archive layout. Keeping this mirror (instead
+/// of dumping FrameworkOptions raw) pins the serialization format while
+/// FrameworkOptions grows execution-only knobs like num_threads.
+struct PersistedFrameworkOptions {
+  int32_t k;
+  double alpha;
+  int32_t leaf_objects;
+  bool enable_tuple_pruning;
+  bool enable_materialized_lists;
+  bool exact_cell_tests;
+};
+static_assert(sizeof(PersistedFrameworkOptions) == 24,
+              "archive layout of FrameworkOptions must not change");
+
+inline void SaveFrameworkOptions(OutputArchive* ar,
+                                 const FrameworkOptions& options) {
+  PersistedFrameworkOptions persisted;
+  // Zero first so padding bytes are deterministic — Save streams are
+  // compared byte-for-byte by the determinism tests and fingerprints.
+  std::memset(&persisted, 0, sizeof(persisted));
+  persisted.k = options.k;
+  persisted.alpha = options.alpha;
+  persisted.leaf_objects = options.leaf_objects;
+  persisted.enable_tuple_pruning = options.enable_tuple_pruning;
+  persisted.enable_materialized_lists = options.enable_materialized_lists;
+  persisted.exact_cell_tests = options.exact_cell_tests;
+  ar->Pod(persisted);
+}
+
+inline FrameworkOptions LoadFrameworkOptions(InputArchive* ar) {
+  const auto persisted = ar->Pod<PersistedFrameworkOptions>();
+  FrameworkOptions options;
+  options.k = persisted.k;
+  options.alpha = persisted.alpha;
+  options.leaf_objects = persisted.leaf_objects;
+  options.enable_tuple_pruning = persisted.enable_tuple_pruning;
+  options.enable_materialized_lists = persisted.enable_materialized_lists;
+  options.exact_cell_tests = persisted.exact_cell_tests;
+  return options;  // num_threads keeps its default; loading is sequential.
+}
+
+/// Index of the weighted median of `n` elements under the prefix rule shared
+/// by every tree builder: the smallest m with 2 * prefix_weight(m) >= total.
+/// The returned element becomes the pivot; elements before it go left, after
+/// it go right.
+///
+/// Degenerate guard: when one element dominates the total weight the prefix
+/// rule lands on position 0 or n-1, producing an empty child whose sibling
+/// keeps everything else — chains of such splits peel one pivot per level
+/// and depth degrades to O(N). Falling back to the cardinality median keeps
+/// both children non-empty (for n >= 3); the dominant element then becomes a
+/// pivot within O(1) further levels, so every level halves either the weight
+/// or the cardinality and depth stays O(log N + log W).
+template <typename WeightFn>
+size_t WeightedMedianIndex(size_t n, WeightFn&& weight_of) {
+  KWSC_CHECK(n > 0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += weight_of(i);
+  size_t median = n - 1;
+  uint64_t prefix = 0;
+  for (size_t i = 0; i < n; ++i) {
+    prefix += weight_of(i);
+    if (2 * prefix >= total) {
+      median = i;
+      break;
+    }
+  }
+  if (n >= 3 && (median == 0 || median == n - 1)) median = n / 2;
+  return median;
+}
 
 /// Per-query instrumentation. All counters are optional to maintain: query
 /// entry points accept a nullptr Stats.
@@ -94,6 +176,31 @@ struct QueryStats {
 
   uint64_t ObjectsExamined() const { return pivot_checks + list_scanned; }
 };
+
+/// Accumulates `from` into `into`. Used by the batched query engine to merge
+/// per-shard statistics; merging shard stats in shard order yields the same
+/// totals as threading one QueryStats through every query sequentially.
+inline void MergeQueryStats(const QueryStats& from, QueryStats* into) {
+  into->nodes_visited += from.nodes_visited;
+  into->covered_nodes += from.covered_nodes;
+  into->crossing_nodes += from.crossing_nodes;
+  into->pivot_checks += from.pivot_checks;
+  into->list_scanned += from.list_scanned;
+  into->results += from.results;
+  into->tuple_pruned += from.tuple_pruned;
+  into->geom_pruned += from.geom_pruned;
+  into->covered_work += from.covered_work;
+  into->crossing_work += from.crossing_work;
+  into->type1_nodes += from.type1_nodes;
+  into->type2_nodes += from.type2_nodes;
+  if (from.type2_per_level.size() > into->type2_per_level.size()) {
+    into->type2_per_level.resize(from.type2_per_level.size(), 0);
+  }
+  for (size_t i = 0; i < from.type2_per_level.size(); ++i) {
+    into->type2_per_level[i] += from.type2_per_level[i];
+  }
+  into->budget_exhausted |= from.budget_exhausted;
+}
 
 /// Validates a query keyword set against the construction-time k: exactly k
 /// keywords, pairwise distinct. Returns them sorted (the canonical order the

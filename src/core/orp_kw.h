@@ -26,7 +26,9 @@
 #define KWSC_CORE_ORP_KW_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <numeric>
 #include <span>
 #include <vector>
@@ -35,6 +37,7 @@
 #include "common/memory.h"
 #include "common/ops_budget.h"
 #include "common/serialize.h"
+#include "common/thread_pool.h"
 #include "core/framework.h"
 #include "core/node_directory.h"
 #include "geom/box.h"
@@ -53,8 +56,14 @@ class OrpKwIndex {
 
   /// Builds the index over `points` (one per corpus object, same order).
   /// `corpus` must outlive the index.
+  ///
+  /// `pool`, when non-null, is a shared task pool the build forks subtree
+  /// tasks onto (the dimension-reduction index builds its secondaries this
+  /// way); otherwise `options.num_threads` decides whether the build spins
+  /// up its own. The built index — including its Save byte stream — is
+  /// identical for every thread count.
   OrpKwIndex(std::span<const PointType> points, const Corpus* corpus,
-             FrameworkOptions options)
+             FrameworkOptions options, ThreadPool* pool = nullptr)
       : corpus_(corpus), options_(options), rank_(points) {
     KWSC_CHECK(corpus != nullptr);
     KWSC_CHECK_MSG(points.size() == corpus->num_objects(),
@@ -66,14 +75,16 @@ class OrpKwIndex {
     for (uint32_t e = 0; e < points.size(); ++e) {
       rank_points_[e] = rank_.ToRank(e);
     }
-    if (!points.empty()) {
-      std::vector<ObjectId> active(points.size());
-      std::iota(active.begin(), active.end(), 0);
-      DirectoryBuilder builder(corpus_, options_);
-      nodes_.reserve(2 * points.size() / options_.leaf_objects + 2);
-      BuildNode(&active, RankBox::Everything(), /*level=*/0,
-                /*inherited=*/nullptr, &builder);
+    if (points.empty()) return;
+    std::unique_ptr<ThreadPool> owned_pool;
+    if (pool == nullptr) {
+      const int threads = ResolveNumThreads(options_.num_threads);
+      if (threads > 1) {
+        owned_pool = std::make_unique<ThreadPool>(threads - 1);
+        pool = owned_pool.get();
+      }
     }
+    Build(pool);
   }
 
   int k() const { return options_.k; }
@@ -192,7 +203,7 @@ class OrpKwIndex {
     OutputArchive ar(out);
     ar.Magic("KWO1", /*version=*/1);
     ar.Pod<uint32_t>(static_cast<uint32_t>(D));
-    ar.Pod(options_);
+    SaveFrameworkOptions(&ar, options_);
     ar.Pod<uint64_t>(corpus_->num_objects());
     ar.Pod<uint64_t>(corpus_->total_weight());
     rank_.Save(&ar);
@@ -217,7 +228,7 @@ class OrpKwIndex {
     KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
                    "index dimensionality mismatch");
     OrpKwIndex index(corpus);
-    index.options_ = ar.Pod<FrameworkOptions>();
+    index.options_ = LoadFrameworkOptions(&ar);
     KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->num_objects(),
                    "corpus object count mismatch");
     KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->total_weight(),
@@ -248,72 +259,197 @@ class OrpKwIndex {
     bool IsLeaf() const { return child[0] < 0 && child[1] < 0; }
   };
 
-  uint32_t BuildNode(std::vector<ObjectId>* active, const RankBox& cell,
-                     int level, const std::vector<KeywordId>* inherited,
-                     DirectoryBuilder* builder) {
-    const uint32_t index = static_cast<uint32_t>(nodes_.size());
-    nodes_.emplace_back();
-    nodes_[index].cell = cell;
-    nodes_[index].level = static_cast<int16_t>(level);
+  // A node's active set viewed once per dimension, each view sorted by that
+  // dimension's rank coordinate. Maintaining the D orders across splits
+  // (stable partition around the pivot) replaces the per-level re-sort of
+  // the seed construction, dropping split cost from O(n log n) to O(D n) —
+  // the classic O(N log N) kd-tree build.
+  struct ActiveSet {
+    std::array<std::vector<ObjectId>, D> by_dim;
 
-    if (active->size() <= static_cast<size_t>(options_.leaf_objects)) {
-      builder->BuildLeaf(*active, &nodes_[index].dir);
+    size_t size() const { return by_dim[0].size(); }
+
+    // Frees all views; called once a node has partitioned itself so peak
+    // memory stays O(D N) along a root-to-leaf path.
+    void Release() {
+      for (std::vector<ObjectId>& view : by_dim) {
+        view.clear();
+        view.shrink_to_fit();
+      }
+    }
+  };
+
+  struct BuildContext {
+    ThreadPool* pool = nullptr;
+    int fork_levels = 0;
+  };
+
+  // Subtrees smaller than this build inline: the task dispatch and arena
+  // splice are not worth amortizing over fewer objects.
+  static constexpr size_t kMinForkObjects = 512;
+
+  void Build(ThreadPool* pool) {
+    const size_t n = rank_points_.size();
+    nodes_.reserve(2 * n / options_.leaf_objects + 2);
+    DirectoryBuilder builder(corpus_, options_);
+    if (n <= static_cast<size_t>(options_.leaf_objects)) {
+      // Root-only tree; the leaf keeps the object-id pivot order the
+      // recursive construction would have received.
+      nodes_.emplace_back();
+      nodes_[0].cell = RankBox::Everything();
+      std::vector<ObjectId> active(n);
+      std::iota(active.begin(), active.end(), 0);
+      builder.BuildLeaf(active, &nodes_[0].dir);
+      return;
+    }
+    // Rank coordinates per dimension are a permutation of 0..n-1
+    // (geom/rank_space.h sorts by (coordinate, id)), so the initial sorted
+    // views come from inverting that permutation — no sort at all.
+    ActiveSet root;
+    for (int dim = 0; dim < D; ++dim) {
+      root.by_dim[dim].resize(n);
+      for (uint32_t e = 0; e < n; ++e) {
+        root.by_dim[dim][static_cast<size_t>(rank_points_[e][dim])] = e;
+      }
+    }
+    BuildContext ctx;
+    ctx.pool = pool;
+    ctx.fork_levels = ForkLevels(pool);
+    BuildNode(&root, RankBox::Everything(), /*level=*/0,
+              /*inherited=*/nullptr, &builder, &nodes_, &ctx);
+  }
+
+  // Forking the top `fork_levels` levels yields up to 2^fork_levels subtree
+  // tasks; aim for ~4 per thread so the weight-balanced (but not perfectly
+  // even) tasks still load-balance, without paying splice traffic deeper.
+  static int ForkLevels(const ThreadPool* pool) {
+    if (pool == nullptr) return 0;
+    int levels = 0;
+    for (int capacity = 1; capacity < 4 * pool->parallelism(); capacity *= 2) {
+      ++levels;
+    }
+    return levels;
+  }
+
+  // Appends `sub` — a subtree arena in DFS preorder with arena-local child
+  // indices — onto `arena`, rebasing the indices. Returns the subtree root's
+  // index in `arena`, or -1 for an empty subtree. Splicing left then right
+  // after a forked build reproduces the sequential DFS preorder exactly,
+  // which is what makes parallel builds byte-identical under Save.
+  static int32_t SpliceArena(std::vector<Node>* arena, std::vector<Node>* sub) {
+    if (sub->empty()) return -1;
+    const int32_t base = static_cast<int32_t>(arena->size());
+    arena->reserve(arena->size() + sub->size());
+    for (Node& node : *sub) {
+      for (int32_t& child : node.child) {
+        if (child >= 0) child += base;
+      }
+      arena->push_back(std::move(node));
+    }
+    sub->clear();
+    return base;
+  }
+
+  uint32_t BuildNode(ActiveSet* active, const RankBox& cell, int level,
+                     const std::vector<KeywordId>* inherited,
+                     DirectoryBuilder* builder, std::vector<Node>* arena,
+                     const BuildContext* ctx) {
+    const uint32_t index = static_cast<uint32_t>(arena->size());
+    arena->emplace_back();
+    (*arena)[index].cell = cell;
+    (*arena)[index].level = static_cast<int16_t>(level);
+
+    const size_t n = active->size();
+    if (n <= static_cast<size_t>(options_.leaf_objects)) {
+      // Leaf pivots keep the order the recursive caller partitioned them in:
+      // the parent's split-dimension view. (level >= 1 here — a root-sized
+      // leaf is handled in Build.)
+      builder->BuildLeaf(active->by_dim[(level - 1) % D], &(*arena)[index].dir);
       return index;
     }
 
-    // Weight-balanced split on the level's dimension: sort the active set by
-    // rank coordinate and cut at the object where the prefix weight reaches
-    // half. That object is the pivot — it sits on the split line, i.e. the
-    // boundary of both child cells (Section 3.2's push-down rule).
+    // Weight-balanced split on the level's dimension: cut the (pre-sorted)
+    // view at the object where the prefix weight reaches half. That object
+    // is the pivot — it sits on the split line, i.e. the boundary of both
+    // child cells (Section 3.2's push-down rule).
     const int dim = level % D;
-    std::sort(active->begin(), active->end(), [&](ObjectId a, ObjectId b) {
-      return rank_points_[a][dim] < rank_points_[b][dim];
+    const std::vector<ObjectId>& sorted = active->by_dim[dim];
+    const size_t median = WeightedMedianIndex(n, [&](size_t i) {
+      return static_cast<uint64_t>(corpus_->doc(sorted[i]).size());
     });
-    uint64_t total = 0;
-    for (ObjectId e : *active) total += corpus_->doc(e).size();
-    uint64_t prefix = 0;
-    size_t median = 0;
-    for (size_t i = 0; i < active->size(); ++i) {
-      prefix += corpus_->doc((*active)[i]).size();
-      if (2 * prefix >= total) {
-        median = i;
-        break;
-      }
-    }
-    const ObjectId pivot = (*active)[median];
+    const ObjectId pivot = sorted[median];
     const int64_t split = rank_points_[pivot][dim];
 
-    std::vector<std::vector<ObjectId>> child_active(2);
-    child_active[0].assign(active->begin(), active->begin() + median);
-    child_active[1].assign(active->begin() + median + 1, active->end());
+    std::vector<std::vector<ObjectId>> child_split(2);
+    child_split[0].assign(sorted.begin(), sorted.begin() + median);
+    child_split[1].assign(sorted.begin() + median + 1, sorted.end());
 
     std::vector<KeywordId> next_inherited;
-    builder->Build(*active, child_active, inherited, {pivot},
-                   &nodes_[index].dir, &next_inherited);
-    // The active list is no longer needed below this point; free it before
-    // recursing so peak memory stays O(N) along a root-to-leaf path.
-    active->clear();
-    active->shrink_to_fit();
+    builder->Build(sorted, child_split, inherited, {pivot},
+                   &(*arena)[index].dir, &next_inherited);
+
+    // Partition every other dimension's view around the pivot. Rank
+    // coordinates are distinct, so side membership is a single comparison
+    // against the split coordinate; order within each side is preserved —
+    // the children arrive pre-sorted in all D dimensions.
+    ActiveSet left;
+    ActiveSet right;
+    left.by_dim[dim] = std::move(child_split[0]);
+    right.by_dim[dim] = std::move(child_split[1]);
+    for (int d = 0; d < D; ++d) {
+      if (d == dim) continue;
+      left.by_dim[d].reserve(median);
+      right.by_dim[d].reserve(n - median - 1);
+      for (ObjectId e : active->by_dim[d]) {
+        if (e == pivot) continue;
+        (rank_points_[e][dim] < split ? left : right).by_dim[d].push_back(e);
+      }
+    }
+    active->Release();
 
     RankBox left_cell = cell;
     left_cell.hi[dim] = split - 1;
     RankBox right_cell = cell;
     right_cell.lo[dim] = split + 1;
 
-    int32_t left = -1;
-    int32_t right = -1;
-    if (!child_active[0].empty()) {
-      left = static_cast<int32_t>(BuildNode(&child_active[0], left_cell,
-                                            level + 1, &next_inherited,
-                                            builder));
+    int32_t left_child = -1;
+    int32_t right_child = -1;
+    if (ctx->pool != nullptr && level < ctx->fork_levels &&
+        left.size() >= kMinForkObjects && right.size() >= kMinForkObjects) {
+      // Fork: the left subtree builds on the pool while this thread builds
+      // the right one, each into a private arena. The forked task gets its
+      // own DirectoryBuilder (its scratch state is per-instance) and a copy
+      // of the inherited-keyword list.
+      std::vector<Node> left_arena;
+      std::vector<Node> right_arena;
+      {
+        TaskGroup group(ctx->pool);
+        group.Run([this, &left, left_cell, level, next_inherited, &left_arena,
+                   ctx] {
+          DirectoryBuilder task_builder(corpus_, options_);
+          BuildNode(&left, left_cell, level + 1, &next_inherited,
+                    &task_builder, &left_arena, ctx);
+        });
+        BuildNode(&right, right_cell, level + 1, &next_inherited, builder,
+                  &right_arena, ctx);
+        group.Wait();
+      }
+      left_child = SpliceArena(arena, &left_arena);
+      right_child = SpliceArena(arena, &right_arena);
+    } else {
+      if (left.size() > 0) {
+        left_child = static_cast<int32_t>(BuildNode(
+            &left, left_cell, level + 1, &next_inherited, builder, arena,
+            ctx));
+      }
+      if (right.size() > 0) {
+        right_child = static_cast<int32_t>(BuildNode(
+            &right, right_cell, level + 1, &next_inherited, builder, arena,
+            ctx));
+      }
     }
-    if (!child_active[1].empty()) {
-      right = static_cast<int32_t>(BuildNode(&child_active[1], right_cell,
-                                             level + 1, &next_inherited,
-                                             builder));
-    }
-    nodes_[index].child[0] = left;
-    nodes_[index].child[1] = right;
+    (*arena)[index].child[0] = left_child;
+    (*arena)[index].child[1] = right_child;
     return index;
   }
 

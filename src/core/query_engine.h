@@ -1,0 +1,115 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Batched query execution (the throughput layer).
+//
+// Every index in this library is immutable after construction — the contract
+// tests/concurrency_test.cc exercises — so concurrent Query calls need no
+// synchronization at all. This engine exploits that: a batch of (region,
+// keywords) queries is cut into contiguous shards, one per thread, and each
+// shard runs on its own thread with its own QueryStats. Results land in
+// pre-sized slots of the output vector (no two shards touch the same slot),
+// and per-shard stats are merged in shard order afterwards, so the outcome —
+// result vectors, their order, and the aggregate counters — is identical to
+// issuing the queries one by one on a single thread.
+
+#ifndef KWSC_CORE_QUERY_ENGINE_H_
+#define KWSC_CORE_QUERY_ENGINE_H_
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/framework.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+/// One batch entry: a query region (Box for the kd-tree and
+/// dimension-reduction indexes, a data rectangle for RR-KW, ConvexQuery for
+/// the partition substrates) plus its k query keywords.
+template <typename Region>
+struct BatchQuery {
+  Region region;
+  std::vector<KeywordId> keywords;
+};
+
+/// Shards query batches across a thread pool.
+///
+/// `Index` needs only the uniform Query(region, keywords, stats) entry point
+/// every index here exposes. `Region` defaults to Index::BoxType; pass it
+/// explicitly for indexes whose region type has another name (e.g.
+/// ConvexQuery for SpKwHsIndex).
+template <typename Index, typename Region = typename Index::BoxType>
+class QueryEngine {
+ public:
+  struct BatchResult {
+    /// One result vector per query, in input order, each exactly what
+    /// Index::Query would have returned.
+    std::vector<std::vector<ObjectId>> rows;
+    /// Aggregate over the whole batch.
+    QueryStats stats;
+    double wall_micros = 0.0;
+  };
+
+  /// `index` must outlive the engine. `num_threads` follows
+  /// FrameworkOptions::num_threads semantics: 0 = one per hardware thread,
+  /// 1 = run the batch on the calling thread.
+  QueryEngine(const Index* index, int num_threads)
+      : index_(index), num_threads_(ResolveNumThreads(num_threads)) {
+    KWSC_CHECK(index != nullptr);
+    if (num_threads_ > 1) {
+      pool_ = std::make_unique<ThreadPool>(num_threads_ - 1);
+    }
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  BatchResult Run(std::span<const BatchQuery<Region>> queries) const {
+    BatchResult out;
+    out.rows.resize(queries.size());
+    if (queries.empty()) return out;
+    WallTimer timer;
+    const size_t shards =
+        std::min(static_cast<size_t>(num_threads_), queries.size());
+    std::vector<QueryStats> shard_stats(shards);
+    {
+      TaskGroup group(pool_.get());
+      for (size_t s = 1; s < shards; ++s) {
+        group.Run([this, queries, &out, &shard_stats, s, shards] {
+          RunShard(queries, s, shards, &out.rows, &shard_stats[s]);
+        });
+      }
+      // Shard 0 runs on the calling thread; the group destructor joins the
+      // rest (helping with stragglers still queued).
+      RunShard(queries, 0, shards, &out.rows, &shard_stats[0]);
+    }
+    for (const QueryStats& s : shard_stats) MergeQueryStats(s, &out.stats);
+    out.wall_micros = timer.ElapsedMicros();
+    return out;
+  }
+
+ private:
+  void RunShard(std::span<const BatchQuery<Region>> queries, size_t shard,
+                size_t shards, std::vector<std::vector<ObjectId>>* rows,
+                QueryStats* stats) const {
+    // Contiguous blocks: shard s owns [s*n/shards, (s+1)*n/shards).
+    const size_t n = queries.size();
+    const size_t begin = shard * n / shards;
+    const size_t end = (shard + 1) * n / shards;
+    for (size_t i = begin; i < end; ++i) {
+      (*rows)[i] = index_->Query(queries[i].region, queries[i].keywords, stats);
+    }
+  }
+
+  const Index* index_;
+  int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_QUERY_ENGINE_H_

@@ -120,7 +120,7 @@ class SpKwBoxIndex {
     OutputArchive ar(out);
     ar.Magic("KWS1", /*version=*/1);
     ar.Pod<uint32_t>(static_cast<uint32_t>(D));
-    ar.Pod(options_);
+    SaveFrameworkOptions(&ar, options_);
     ar.Pod<uint64_t>(corpus_->num_objects());
     ar.Pod<uint64_t>(corpus_->total_weight());
     ar.Vec(points_);
@@ -142,7 +142,7 @@ class SpKwBoxIndex {
     KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
                    "index dimensionality mismatch");
     SpKwBoxIndex index(corpus);
-    index.options_ = ar.Pod<FrameworkOptions>();
+    index.options_ = LoadFrameworkOptions(&ar);
     KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->num_objects(),
                    "corpus object count mismatch");
     KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->total_weight(),
@@ -192,17 +192,9 @@ class SpKwBoxIndex {
       }
       return a < b;  // Deterministic perturbation (Appendix D.4).
     });
-    uint64_t total = 0;
-    for (ObjectId e : *active) total += corpus_->doc(e).size();
-    uint64_t prefix = 0;
-    size_t median = 0;
-    for (size_t i = 0; i < active->size(); ++i) {
-      prefix += corpus_->doc((*active)[i]).size();
-      if (2 * prefix >= total) {
-        median = i;
-        break;
-      }
-    }
+    const size_t median = WeightedMedianIndex(active->size(), [&](size_t i) {
+      return static_cast<uint64_t>(corpus_->doc((*active)[i]).size());
+    });
     const ObjectId pivot = (*active)[median];
     const Scalar split = points_[pivot][dim];
 

@@ -1,0 +1,150 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Batched query engine: sharding a batch across threads must be invisible —
+// per-query result vectors (including emission order) equal to per-query
+// Query calls, and aggregate QueryStats equal to the sequentially
+// accumulated totals, for every thread count.
+
+#include "core/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "core/orp_kw.h"
+#include "core/rr_kw.h"
+#include "test_util.h"
+#include "text/corpus.h"
+#include "workload/generator.h"
+
+namespace kwsc {
+namespace {
+
+TEST(QueryEngine, BatchMatchesPerQueryAnswersAndStats) {
+  Rng rng(8201);
+  CorpusSpec spec;
+  spec.num_objects = 2000;
+  spec.vocab_size = 120;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(2000, PointDistribution::kClustered, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < 48; ++i) {
+    batch.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts),
+                          rng.UniformDouble(0.01, 0.4), &rng),
+         PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng)});
+  }
+
+  // Reference: per-query calls threading one QueryStats through all of them.
+  std::vector<std::vector<ObjectId>> expected;
+  QueryStats expected_stats;
+  for (const auto& q : batch) {
+    expected.push_back(index.Query(q.region, q.keywords, &expected_stats));
+  }
+
+  for (int threads : {1, 2, 4, 8}) {
+    QueryEngine<OrpKwIndex<2>> engine(&index, threads);
+    const auto result = engine.Run(batch);
+    ASSERT_EQ(result.rows.size(), batch.size()) << "threads=" << threads;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(result.rows[i], expected[i])
+          << "threads=" << threads << " query " << i;
+    }
+    EXPECT_EQ(result.stats.results, expected_stats.results);
+    EXPECT_EQ(result.stats.nodes_visited, expected_stats.nodes_visited);
+    EXPECT_EQ(result.stats.pivot_checks, expected_stats.pivot_checks);
+    EXPECT_EQ(result.stats.list_scanned, expected_stats.list_scanned);
+    EXPECT_EQ(result.stats.tuple_pruned, expected_stats.tuple_pruned);
+    EXPECT_EQ(result.stats.geom_pruned, expected_stats.geom_pruned);
+    EXPECT_FALSE(result.stats.budget_exhausted);
+    EXPECT_GE(result.wall_micros, 0.0);
+  }
+}
+
+TEST(QueryEngine, EmptyBatch) {
+  Rng rng(8202);
+  CorpusSpec spec;
+  spec.num_objects = 64;
+  spec.vocab_size = 30;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(64, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  QueryEngine<OrpKwIndex<2>> engine(&index, 4);
+  const auto result = engine.Run({});
+  EXPECT_TRUE(result.rows.empty());
+  EXPECT_EQ(result.stats.nodes_visited, 0u);
+  EXPECT_EQ(result.stats.results, 0u);
+}
+
+TEST(QueryEngine, BatchSmallerThanThreadCount) {
+  Rng rng(8203);
+  CorpusSpec spec;
+  spec.num_objects = 500;
+  spec.vocab_size = 60;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(500, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts), 0.3, &rng),
+         PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng)});
+  }
+  QueryEngine<OrpKwIndex<2>> engine(&index, 8);  // More threads than queries.
+  const auto result = engine.Run(batch);
+  ASSERT_EQ(result.rows.size(), 3u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.rows[i], index.Query(batch[i].region, batch[i].keywords));
+  }
+}
+
+TEST(QueryEngine, WorksWithRrKwRectangles) {
+  Rng rng(8204);
+  CorpusSpec spec;
+  spec.num_objects = 400;
+  spec.vocab_size = 60;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  std::vector<Box<1>> rects;
+  for (uint32_t i = 0; i < 400; ++i) {
+    const double lo = rng.UniformDouble(0.0, 0.9);
+    Box<1> r;
+    r.lo[0] = lo;
+    r.hi[0] = lo + rng.UniformDouble(0.0, 0.1);
+    rects.push_back(r);
+  }
+  FrameworkOptions opt;
+  opt.k = 2;
+  RrKwIndex<1> index(rects, &corpus, opt);
+
+  std::vector<BatchQuery<Box<1>>> batch;
+  for (int i = 0; i < 16; ++i) {
+    const double lo = rng.UniformDouble(0.0, 0.8);
+    Box<1> q;
+    q.lo[0] = lo;
+    q.hi[0] = lo + rng.UniformDouble(0.05, 0.2);
+    batch.push_back(
+        {q, PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng)});
+  }
+  QueryEngine<RrKwIndex<1>> engine(&index, 4);
+  const auto result = engine.Run(batch);
+  ASSERT_EQ(result.rows.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.rows[i], index.Query(batch[i].region, batch[i].keywords))
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kwsc

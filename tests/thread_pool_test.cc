@@ -1,0 +1,101 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// ThreadPool / TaskGroup contract tests: every submitted task runs exactly
+// once, Wait() joins, nested fork/join on one shared pool does not deadlock,
+// and a null pool degrades to inline execution. Run under TSan (preset
+// `tsan`) to check the synchronization mechanically.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kwsc {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  EXPECT_EQ(pool.parallelism(), 4);
+
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.Run([&runs, i] { runs[i].fetch_add(1); });
+    }
+    group.Wait();
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, WaitJoinsBeforeResultsAreRead) {
+  ThreadPool pool(4);
+  constexpr int kSlots = 256;
+  // Each task writes its own slot — exactly the pattern the parallel index
+  // build and the batched query engine rely on: disjoint writes joined by
+  // Wait(), no other synchronization.
+  std::vector<int> slots(kSlots, 0);
+  TaskGroup group(&pool);
+  for (int i = 0; i < kSlots; ++i) {
+    group.Run([&slots, i] { slots[i] = i * i; });
+  }
+  group.Wait();
+  for (int i = 0; i < kSlots; ++i) ASSERT_EQ(slots[i], i * i);
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+  // More outstanding waits than workers: only the helping in
+  // TaskGroup::Wait keeps this from deadlocking.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> fork = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    TaskGroup group(&pool);
+    group.Run([&fork, depth] { fork(depth - 1); });
+    group.Run([&fork, depth] { fork(depth - 1); });
+    group.Wait();
+  };
+  fork(6);
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, NullPoolRunsInline) {
+  int runs = 0;
+  TaskGroup group(nullptr);
+  group.Run([&runs] { ++runs; });
+  EXPECT_EQ(runs, 1);  // Executed synchronously, before Wait.
+  group.Wait();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, GroupDestructorWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 32; ++i) {
+      group.Run([&done] { done.fetch_add(1); });
+    }
+    // No explicit Wait: the destructor must join.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+  EXPECT_GE(ResolveNumThreads(0), 1);  // Hardware concurrency, at least 1.
+}
+
+}  // namespace
+}  // namespace kwsc
