@@ -8,7 +8,10 @@
 // bounds construction by sum_e C(|e.Doc|, k) per level).
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "audit/audit.h"
+#include "audit/index_auditor.h"
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -20,6 +23,23 @@
 
 namespace kwsc {
 namespace {
+
+/// With KWSC_AUDIT on (compile definition or environment), every index this
+/// benchmark builds is audited before it is discarded — construction sizes
+/// here exceed anything the unit tests build, so this is where invariant
+/// drift at scale would surface. The audit runs inside the timed section:
+/// KWSC_AUDIT is a correctness mode, not a measurement mode, and the
+/// reported timings say so implicitly (do not mix audited and plain runs).
+template <typename Index>
+void MaybeAudit(const char* name, const Index& index) {
+  if (!audit::AuditEnabled()) return;
+  const audit::AuditReport report = audit::AuditIndex(index);
+  if (!report.ok()) {
+    std::fprintf(stderr, "AUDIT FAILED [%s]:\n%s\n", name,
+                 report.ToString().c_str());
+    std::exit(1);
+  }
+}
 
 template <typename BuildFn>
 void Sweep(const char* name, double index_id, bench::JsonReport* report,
@@ -72,6 +92,7 @@ int main() {
           auto pts = GeneratePoints<2>(corpus.num_objects(),
                                        PointDistribution::kUniform, rng);
           OrpKwIndex<2> index(pts, &corpus, opt);
+          MaybeAudit("OrpKwIndex<2>", index);
           return index.MemoryBytes();
         });
   Sweep("SpKwHsIndex (partition tree d=2)", 1, &report,
@@ -85,6 +106,7 @@ int main() {
     auto pts = GeneratePoints<3>(corpus.num_objects(),
                                  PointDistribution::kUniform, rng);
     SpKwBoxIndex<3> index(pts, &corpus, opt);
+    MaybeAudit("SpKwBoxIndex<3>", index);
     return index.MemoryBytes();
   });
   Sweep("DimRedOrpKwIndex<3> (Theorem 2)", 3, &report,
@@ -92,6 +114,7 @@ int main() {
           auto pts = GeneratePoints<3>(corpus.num_objects(),
                                        PointDistribution::kUniform, rng);
           DimRedOrpKwIndex<3> index(pts, &corpus, opt);
+          MaybeAudit("DimRedOrpKwIndex<3>", index);
           return index.MemoryBytes();
         });
   const std::string path = report.Write();

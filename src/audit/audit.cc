@@ -1,0 +1,114 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "audit/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace kwsc {
+namespace audit {
+
+const char* AuditCheckName(AuditCheck check) {
+  switch (check) {
+    case AuditCheck::kTreeStructure:
+      return "tree-structure";
+    case AuditCheck::kCellGeometry:
+      return "cell-geometry";
+    case AuditCheck::kPartitionDisjoint:
+      return "partition-disjoint";
+    case AuditCheck::kPartitionCoverage:
+      return "partition-coverage";
+    case AuditCheck::kWeightAccounting:
+      return "weight-accounting";
+    case AuditCheck::kDepthBound:
+      return "depth-bound";
+    case AuditCheck::kFanoutSchedule:
+      return "fanout-schedule";
+    case AuditCheck::kDirectoryLarge:
+      return "directory-large";
+    case AuditCheck::kDirectoryMaterialized:
+      return "directory-materialized";
+    case AuditCheck::kDirectoryTuples:
+      return "directory-tuples";
+    case AuditCheck::kSpaceBound:
+      return "space-bound";
+    case AuditCheck::kRankSpace:
+      return "rank-space";
+    case AuditCheck::kSerialization:
+      return "serialization";
+  }
+  return "unknown";
+}
+
+uint64_t AuditReport::CountOf(AuditCheck check) const {
+  const size_t index = static_cast<size_t>(check);
+  return index < counts_.size() ? counts_[index] : 0;
+}
+
+void AuditReport::Add(AuditCheck check, int64_t node, const char* fmt, ...) {
+  const size_t index = static_cast<size_t>(check);
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  ++counts_[index];
+  ++total_violations_;
+  if (violations_.size() >= kMaxStored) return;
+
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  violations_.push_back({check, node, std::string(buf)});
+}
+
+void AuditReport::Merge(const AuditReport& other, const std::string& prefix) {
+  nodes_checked += other.nodes_checked;
+  objects_checked += other.objects_checked;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_violations_ += other.total_violations_;
+  for (const AuditViolation& v : other.violations_) {
+    if (violations_.size() >= kMaxStored) break;
+    violations_.push_back({v.check, v.node, prefix + v.message});
+  }
+}
+
+std::string AuditReport::ToString() const {
+  char line[640];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "audit: %llu violation(s) over %llu node(s), %llu object(s)\n",
+                static_cast<unsigned long long>(total_violations_),
+                static_cast<unsigned long long>(nodes_checked),
+                static_cast<unsigned long long>(objects_checked));
+  out += line;
+  for (const AuditViolation& v : violations_) {
+    std::snprintf(line, sizeof(line), "  [%s] node %lld: %s\n",
+                  AuditCheckName(v.check), static_cast<long long>(v.node),
+                  v.message.c_str());
+    out += line;
+  }
+  if (total_violations_ > violations_.size()) {
+    std::snprintf(line, sizeof(line), "  ... %llu more not stored\n",
+                  static_cast<unsigned long long>(total_violations_ -
+                                                  violations_.size()));
+    out += line;
+  }
+  return out;
+}
+
+bool AuditEnabled() {
+#ifdef KWSC_AUDIT
+  return true;
+#else
+  const char* env = std::getenv("KWSC_AUDIT");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+#endif
+}
+
+}  // namespace audit
+}  // namespace kwsc

@@ -1,0 +1,130 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// AuditAccess: the auditor's window into index internals.
+//
+// The indexes keep their node arenas and directories private — queries never
+// need them — but the auditor must walk raw nodes, and the corruption
+// injection tests must *mutate* them to prove each violation class is
+// detected. Rather than widening every public API with debug accessors, each
+// index befriends this single struct; everything audit-related funnels
+// through here, so a grep for AuditAccess finds every spot where
+// encapsulation is deliberately pierced.
+//
+// Accessors are templates: they instantiate only when called, so one shim
+// serves every index family despite their differing internals (the member
+// naming is uniform across the library: nodes_, options_, points_, ...).
+
+#ifndef KWSC_AUDIT_AUDIT_ACCESS_H_
+#define KWSC_AUDIT_AUDIT_ACCESS_H_
+
+namespace kwsc {
+namespace audit {
+
+struct AuditAccess {
+  // ---- Read-only views (auditor) ----
+
+  template <typename Index>
+  static const auto& Nodes(const Index& index) {
+    return index.nodes_;
+  }
+
+  template <typename Index>
+  static const auto& Options(const Index& index) {
+    return index.options_;
+  }
+
+  /// The corpus the index was built over (pointer, as stored).
+  template <typename Index>
+  static const auto* CorpusOf(const Index& index) {
+    return index.corpus_;
+  }
+
+  /// Original-space points (SpKwBoxIndex, DimRedOrpKwIndex).
+  template <typename Index>
+  static const auto& Points(const Index& index) {
+    return index.points_;
+  }
+
+  /// Rank-space images of the objects (OrpKwIndex).
+  template <typename Index>
+  static const auto& RankPoints(const Index& index) {
+    return index.rank_points_;
+  }
+
+  /// The rank-space reduction tables (OrpKwIndex).
+  template <typename Index>
+  static const auto& RankSpaceOf(const Index& index) {
+    return index.rank_;
+  }
+
+  /// The lifted underlying engine (RrKwIndex).
+  template <typename Index>
+  static const auto& Engine(const Index& index) {
+    return *index.engine_;
+  }
+
+  /// Point-id permutation (KdTree).
+  template <typename Index>
+  static const auto& Ids(const Index& index) {
+    return index.ids_;
+  }
+
+  template <typename Tree>
+  static const auto& Intervals(const Tree& tree) {
+    return tree.intervals_;
+  }
+
+  template <typename Tree>
+  static auto Root(const Tree& tree) {
+    return tree.root_;
+  }
+
+  // NodeDirectory internals (the public API exposes lookups, not iteration).
+
+  template <typename Dir>
+  static const auto& Large(const Dir& dir) {
+    return dir.large_;
+  }
+
+  template <typename Dir>
+  static const auto& ChildTuples(const Dir& dir) {
+    return dir.child_tuples_;
+  }
+
+  template <typename Dir>
+  static const auto& Materialized(const Dir& dir) {
+    return dir.materialized_;
+  }
+
+  // ---- Mutable views (corruption-injection tests only) ----
+
+  template <typename Index>
+  static auto& MutableNodes(Index* index) {
+    return index->nodes_;
+  }
+
+  template <typename Dir>
+  static auto& MutableWeight(Dir* dir) {
+    return dir->weight_;
+  }
+
+  template <typename Dir>
+  static auto& MutablePivots(Dir* dir) {
+    return dir->pivots_;
+  }
+
+  template <typename Dir>
+  static auto& MutableMaterialized(Dir* dir) {
+    return dir->materialized_;
+  }
+
+  template <typename Dir>
+  static auto& MutableChildTuples(Dir* dir) {
+    return dir->child_tuples_;
+  }
+};
+
+}  // namespace audit
+}  // namespace kwsc
+
+#endif  // KWSC_AUDIT_AUDIT_ACCESS_H_

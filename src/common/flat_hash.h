@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,14 @@ inline size_t TableCapacityFor(size_t n) {
   size_t cap = 8;
   while (cap < 2 * n) cap <<= 1;
   return cap;
+}
+
+/// Widens a key to 64 bits without sign-extension: a negative signed key
+/// must hash by its bit pattern, not by its sign-extended value.
+template <typename Key>
+uint64_t KeyBits(Key key) {
+  return static_cast<uint64_t>(
+      static_cast<std::make_unsigned_t<Key>>(key));
 }
 
 }  // namespace internal_flat_hash
@@ -117,7 +126,8 @@ class FlatHashMap {
 
  private:
   size_t ProbeStart(Key key) const {
-    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) & mask_;
+    return static_cast<size_t>(Mix64(internal_flat_hash::KeyBits(key))) &
+           mask_;
   }
 
   void Rehash(size_t new_cap) {
@@ -196,7 +206,8 @@ class FlatHashSet {
 
  private:
   size_t ProbeStart(Key key) const {
-    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) & mask_;
+    return static_cast<size_t>(Mix64(internal_flat_hash::KeyBits(key))) &
+           mask_;
   }
 
   void Rehash(size_t new_cap) {

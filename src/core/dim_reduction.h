@@ -40,6 +40,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 /// Static shape of the dimension-reduction tree, for the Figure-2 /
 /// Propositions 1-3 instrumentation (bench_dimred_shape).
 struct DimRedShape {
@@ -166,6 +170,10 @@ class DimRedOrpKwIndex {
   }
 
  private:
+  // The invariant auditor reads (and its tests corrupt) the node arena
+  // directly; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   struct Node {
     Scalar sigma_lo{};  // Tightest x-range of the active set.
     Scalar sigma_hi{};

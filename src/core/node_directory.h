@@ -33,6 +33,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 class NodeDirectory {
  public:
   NodeDirectory() = default;
@@ -86,6 +90,9 @@ class NodeDirectory {
 
  private:
   friend class DirectoryBuilder;
+  // The invariant auditor iterates (and its tests corrupt) the tables
+  // directly; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
 
   std::vector<ObjectId> pivots_;
   FlatHashMap<KeywordId, uint32_t> large_;

@@ -47,6 +47,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 template <int D, typename Scalar = double>
 class OrpKwIndex {
  public:
@@ -248,6 +252,10 @@ class OrpKwIndex {
   }
 
  private:
+  // The invariant auditor reads (and its tests corrupt) the node arena
+  // directly; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   // Shell constructor used by Load.
   explicit OrpKwIndex(const Corpus* corpus) : corpus_(corpus) {}
 

@@ -29,6 +29,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 template <int D, typename Scalar = double>
 class RrKwIndex {
  public:
@@ -90,6 +94,9 @@ class RrKwIndex {
   }
 
  private:
+  // The invariant auditor audits the lifted engine; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   // Deferred construction (the lifted points must be computed first).
   std::optional<Engine> engine_;
 };

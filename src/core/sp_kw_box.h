@@ -38,6 +38,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 template <int D, typename Scalar = double>
 class SpKwBoxIndex {
  public:
@@ -161,6 +165,10 @@ class SpKwBoxIndex {
   }
 
  private:
+  // The invariant auditor reads (and its tests corrupt) the node arena
+  // directly; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   // Shell constructor used by Load.
   explicit SpKwBoxIndex(const Corpus* corpus) : corpus_(corpus) {}
 

@@ -12,6 +12,7 @@
 #define KWSC_GEOM_RANK_SPACE_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <numeric>
 #include <span>
@@ -75,12 +76,14 @@ class RankSpace {
     for (int dim = 0; dim < D; ++dim) {
       const auto& coords = sorted_coords_[dim];
       // First rank whose coordinate is >= box.lo[dim].
-      r.lo[dim] = std::lower_bound(coords.begin(), coords.end(), box.lo[dim]) -
-                  coords.begin();
+      r.lo[dim] = static_cast<int64_t>(
+          std::lower_bound(coords.begin(), coords.end(), box.lo[dim]) -
+          coords.begin());
       // Last rank whose coordinate is <= box.hi[dim].
-      r.hi[dim] = (std::upper_bound(coords.begin(), coords.end(),
-                                    box.hi[dim]) -
-                   coords.begin()) -
+      r.hi[dim] = static_cast<int64_t>(
+                      std::upper_bound(coords.begin(), coords.end(),
+                                       box.hi[dim]) -
+                      coords.begin()) -
                   1;
     }
     return r;

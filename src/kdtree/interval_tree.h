@@ -22,6 +22,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 template <typename Scalar = double>
 class IntervalTree {
  public:
@@ -66,6 +70,10 @@ class IntervalTree {
   }
 
  private:
+  // The invariant auditor reads (and its tests corrupt) the node arena
+  // directly; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   struct Node {
     Scalar center{};
     // Intervals containing `center`, sorted by left endpoint ascending and

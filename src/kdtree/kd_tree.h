@@ -31,6 +31,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 template <int D, typename Scalar = double>
 class KdTree {
  public:
@@ -122,6 +126,10 @@ class KdTree {
   }
 
  private:
+  // The invariant auditor reads (and its tests corrupt) the node arena
+  // directly; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   struct Node {
     BoxType bounds;        // Tight bounding box of the points below.
     uint32_t begin = 0;    // Leaf: range in ids_.

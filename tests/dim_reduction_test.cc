@@ -40,6 +40,7 @@ TEST_P(DimRed3DTest, MatchesBruteForce) {
   FrameworkOptions opt;
   opt.k = p.k;
   DimRedOrpKwIndex<3> index(pts, &corpus, opt);
+  testing::ExpectAuditClean(index);
   for (int trial = 0; trial < 10; ++trial) {
     auto q = GenerateBoxQuery(std::span<const Point<3>>(pts), p.selectivity,
                               &rng);
@@ -74,6 +75,7 @@ TEST(DimRed, FourDimensionsMatchBruteForce) {
   FrameworkOptions opt;
   opt.k = 2;
   DimRedOrpKwIndex<4> index(pts, &corpus, opt);
+  testing::ExpectAuditClean(index);
   for (int trial = 0; trial < 8; ++trial) {
     auto q = GenerateBoxQuery(std::span<const Point<4>>(pts), 0.3, &rng);
     auto kws = PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng);

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "kdtree/interval_tree.h"
+#include "test_util.h"
 #include "workload/generator.h"
 
 namespace kwsc {
@@ -50,6 +51,7 @@ TEST(IntervalTree, RandomizedAgainstBruteForce) {
     auto ivs = GenerateRects<1>(n, PointDistribution::kUniform,
                                 rng.UniformDouble(0.005, 0.2), &rng);
     IntervalTree<double> tree{std::span<const Box<1>>(ivs)};
+    testing::ExpectAuditClean(tree);
     for (int q = 0; q < 20; ++q) {
       const double a = rng.UniformDouble(-0.2, 1.2);
       const double b = a + rng.UniformDouble(0, 0.3);

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "geom/box.h"
 #include "kdtree/kd_tree.h"
+#include "test_util.h"
 #include "workload/generator.h"
 
 namespace kwsc {
@@ -50,6 +51,7 @@ TEST_P(KdTreeRangeTest, MatchesBruteForce) {
   Rng rng(1000 + param.n);
   auto pts = GeneratePoints<2>(param.n, param.dist, &rng);
   KdTree<2> tree{std::span<const Point<2>>(pts)};
+  testing::ExpectAuditClean(tree);
   for (int trial = 0; trial < 10; ++trial) {
     auto q = GenerateBoxQuery(std::span<const Point<2>>(pts),
                               param.selectivity, &rng);

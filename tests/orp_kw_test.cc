@@ -43,6 +43,7 @@ TEST_P(OrpKwPropertyTest, MatchesBruteForce) {
   FrameworkOptions opt;
   opt.k = p.k;
   OrpKwIndex<2> index(pts, &corpus, opt);
+  testing::ExpectAuditClean(index);
 
   for (int trial = 0; trial < 12; ++trial) {
     auto q = GenerateBoxQuery(std::span<const Point<2>>(pts), p.selectivity,
@@ -94,6 +95,7 @@ TEST(OrpKw, TiedCoordinatesHandledByRankSpace) {
   FrameworkOptions opt;
   opt.k = 2;
   OrpKwIndex<2> index(pts, &corpus, opt);
+  testing::ExpectAuditClean(index);
   for (int trial = 0; trial < 30; ++trial) {
     Box<2> q;
     for (int dim = 0; dim < 2; ++dim) {

@@ -58,6 +58,7 @@ TEST_P(RrKw1DTest, TemporalIntervalsMatchBruteForce) {
   FrameworkOptions opt;
   opt.k = p.k;
   RrKwIndex<1> index(rects, &corpus, opt);
+  testing::ExpectAuditClean(index);
   for (int trial = 0; trial < 10; ++trial) {
     Box<1> q;
     const double center = rng.NextDouble();
@@ -94,6 +95,7 @@ TEST(RrKw, TwoDimensionalMbrsMatchBruteForce) {
   FrameworkOptions opt;
   opt.k = 2;
   RrKwIndex<2> index(rects, &corpus, opt);
+  testing::ExpectAuditClean(index);
   for (int trial = 0; trial < 8; ++trial) {
     Box<2> q;
     for (int dim = 0; dim < 2; ++dim) {

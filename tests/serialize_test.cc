@@ -87,6 +87,7 @@ TEST(OrpKwSerialize, LoadedIndexAnswersIdentically) {
   std::stringstream stream;
   original.Save(&stream);
   OrpKwIndex<2> loaded = OrpKwIndex<2>::Load(&stream, &corpus);
+  testing::ExpectAuditClean(loaded);
 
   EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
   EXPECT_EQ(loaded.MemoryBytes() > 0, true);
@@ -167,6 +168,7 @@ TEST(SpKwBoxSerialize, LoadedIndexAnswersIdentically) {
   std::stringstream stream;
   original.Save(&stream);
   SpKwBoxIndex<2> loaded = SpKwBoxIndex<2>::Load(&stream, &corpus);
+  testing::ExpectAuditClean(loaded);
   for (int trial = 0; trial < 15; ++trial) {
     ConvexQuery<2> q;
     q.constraints.push_back(GenerateHalfspaceQuery(

@@ -40,6 +40,7 @@ TEST_P(SpKwBox2DTest, MatchesBruteForce) {
   FrameworkOptions opt;
   opt.k = p.k;
   SpKwBoxIndex<2> index(pts, &corpus, opt);
+  testing::ExpectAuditClean(index);
   for (int trial = 0; trial < 10; ++trial) {
     ConvexQuery<2> q;
     for (int i = 0; i < p.num_constraints; ++i) {
@@ -76,6 +77,7 @@ TEST(SpKwBox, ThreeDimensions) {
   FrameworkOptions opt;
   opt.k = 2;
   SpKwBoxIndex<3> index(pts, &corpus, opt);
+  testing::ExpectAuditClean(index);
   for (int trial = 0; trial < 10; ++trial) {
     ConvexQuery<3> q;
     const int s = 1 + static_cast<int>(rng.NextBounded(3));

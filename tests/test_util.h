@@ -11,13 +11,43 @@
 #include <span>
 #include <vector>
 
+#include "audit/audit.h"
+#include "audit/index_auditor.h"
 #include "geom/box.h"
 #include "geom/halfspace.h"
 #include "geom/point.h"
+#include "gtest/gtest.h"
 #include "text/corpus.h"
 
 namespace kwsc {
 namespace testing {
+
+/// Runs the paper-invariant auditor over a built index and fails the test
+/// with the full violation report when any check fires. Gated on
+/// audit::AuditEnabled() (the KWSC_AUDIT compile definition or environment
+/// variable) so the default build keeps its test runtime; the asan preset
+/// and CI enable it everywhere.
+template <typename Index>
+void ExpectAuditClean(const Index& index) {
+  if (!audit::AuditEnabled()) return;
+  const audit::AuditReport report = audit::AuditIndex(index);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+/// Substrate variants (kd-tree / interval tree have their own entry points).
+template <int D, typename Scalar>
+void ExpectAuditClean(const KdTree<D, Scalar>& tree) {
+  if (!audit::AuditEnabled()) return;
+  const audit::AuditReport report = audit::AuditKdTree(tree);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+template <typename Scalar>
+void ExpectAuditClean(const IntervalTree<Scalar>& tree) {
+  if (!audit::AuditEnabled()) return;
+  const audit::AuditReport report = audit::AuditIntervalTree(tree);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
 
 /// Objects in `q` whose documents contain all keywords, ascending by id.
 template <int D, typename Scalar>
