@@ -17,8 +17,10 @@
 #include "common/timer.h"
 #include "core/dim_reduction.h"
 #include "core/orp_kw.h"
+#include "core/query_engine.h"
 #include "core/sp_kw_box.h"
 #include "core/sp_kw_hs.h"
+#include "obs/metrics.h"
 #include "workload/generator.h"
 
 namespace kwsc {
@@ -72,6 +74,48 @@ void Sweep(const char* name, double index_id, bench::JsonReport* report,
                        bench::FitLogLogSlope(ns, times),
                        1.0,  // Near-linear (polylog factors expected).
                        report);
+  // Build wall time at the largest N, as a named gauge the perf trajectory
+  // can diff without fishing through the points array.
+  report->SetGauge("build_wall_ms_idx" + std::to_string(int(index_id)),
+                   times.back());
+}
+
+/// A small fixed query batch against the Theorem-1 index: bench_build's
+/// JSON carries query latency quantiles too, so a construction-affecting
+/// regression that also disturbs the query path shows up in one record.
+void QueryLatencyProbe(const FrameworkOptions& base_opt,
+                       bench::JsonReport* report) {
+  constexpr uint32_t kObjects = 16384;
+  constexpr int kQueries = 256;
+  Rng rng(kObjects * 5 + 1);
+  CorpusSpec spec;
+  spec.num_objects = kObjects;
+  spec.vocab_size = std::max<uint32_t>(64, kObjects / 16);
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(kObjects, PointDistribution::kUniform, &rng);
+  OrpKwIndex<2> index(pts, &corpus, base_opt);
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < kQueries; ++i) {
+    batch.push_back({GenerateBoxQuery(std::span<const Point<2>>(pts),
+                                      i % 2 == 0 ? 0.001 : 0.1, &rng),
+                     PickQueryKeywords(corpus, 2,
+                                       i % 2 == 0 ? KeywordPick::kFrequent
+                                                  : KeywordPick::kCooccurring,
+                                       &rng)});
+  }
+  obs::MetricsRegistry registry;
+  QueryEngine<OrpKwIndex<2>> engine(&index, base_opt, &registry);
+  const auto result = engine.Run(batch);
+  std::printf("\n-- query latency probe (OrpKwIndex<2>, %d queries) --\n",
+              kQueries);
+  std::printf("p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
+              result.latency.P50() / 1e3, result.latency.P90() / 1e3,
+              result.latency.P99() / 1e3, result.latency.max() / 1e3);
+  report->AddHistogram("query_latency_ns", result.latency, "ns");
+  report->AddHistogram("query_work_objects", result.work, "objects");
+  obs::AddQueryStatsCounters(result.stats, "probe_stats",
+                             report->mutable_registry());
+  report->MergeRegistry(registry);
 }
 
 }  // namespace
@@ -117,7 +161,7 @@ int main() {
           MaybeAudit("DimRedOrpKwIndex<3>", index);
           return index.MemoryBytes();
         });
-  const std::string path = report.Write();
-  if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
+  QueryLatencyProbe(opt, &report);
+  bench::EmitJson(&report);
   return 0;
 }

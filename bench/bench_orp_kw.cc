@@ -37,7 +37,7 @@ struct Workload {
   uint32_t frequent_pool;
 };
 
-void RunForK(int k) {
+void RunForK(int k, bench::JsonReport* report) {
   const Workload workloads[] = {
       {"W1-selective-box", KeywordPick::kFrequent, 0.0005, 4},
       {"W2-selective-keywords", KeywordPick::kCooccurring, 0.9, 16},
@@ -113,15 +113,29 @@ void RunForK(int k) {
       std::printf("%10.0f %12.1f %14.2f %14.2f %14.2f %14.2f %10.1f\n",
                   n_weight, out_avg, t_index, t_batch, t_struct, t_kw,
                   examined_avg);
-      bench::PrintCsv("T1.1", {{"k", double(k)},
-                               {"workload", double(&w - workloads)},
-                               {"N", n_weight},
-                               {"OUT", out_avg},
-                               {"index_us", t_index},
-                               {"batch_us", t_batch},
-                               {"structured_us", t_struct},
-                               {"keywords_us", t_kw},
-                               {"examined", examined_avg}});
+      bench::PrintCsv("T1.1",
+                      {{"k", double(k)},
+                       {"workload", double(&w - workloads)},
+                       {"N", n_weight},
+                       {"OUT", out_avg},
+                       {"index_us", t_index},
+                       {"batch_us", t_batch},
+                       {"structured_us", t_struct},
+                       {"keywords_us", t_kw},
+                       {"examined", examined_avg}},
+                      report);
+      if (n_objects == 131072u) {
+        // Largest N only: per-query latency + work histograms per workload,
+        // so the JSON record carries tails (p99), not just the medians the
+        // table shows.
+        const auto probe = engine.Run(batch);
+        const std::string suffix = "_k" + std::to_string(k) + "_w" +
+                                   std::to_string(int(&w - workloads));
+        report->AddHistogram("query_latency_ns" + suffix, probe.latency,
+                             "ns");
+        report->AddHistogram("query_work_objects" + suffix, probe.work,
+                             "objects");
+      }
       ns.push_back(n_weight);
       // Exponent fit uses *work* (objects examined), which is deterministic,
       // rather than wall-clock, which has per-query overhead at small N.
@@ -130,7 +144,7 @@ void RunForK(int k) {
     if (w.pick == KeywordPick::kFrequent && w.selectivity < 0.01) {
       bench::PrintExponent("T1.1 W1 work vs N, k=" + std::to_string(k),
                            bench::FitLogLogSlope(ns, index_times),
-                           1.0 - 1.0 / k);
+                           1.0 - 1.0 / k, report);
     }
   }
 }
@@ -143,7 +157,9 @@ int main() {
       "T1.1 ORP-KW d=2 (Theorem 1)",
       "time ~ N^{1-1/k} (1 + OUT^{1/k}), space O(N); beats both naive "
       "baselines when either predicate is selective");
-  kwsc::RunForK(2);
-  kwsc::RunForK(3);
+  kwsc::bench::JsonReport report("orp_kw");
+  kwsc::RunForK(2, &report);
+  kwsc::RunForK(3, &report);
+  kwsc::bench::EmitJson(&report);
   return 0;
 }

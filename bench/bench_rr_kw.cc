@@ -20,7 +20,8 @@ namespace {
 constexpr int kQueries = 24;
 
 template <int D>
-void Run(const char* label, double mean_extent, double query_half_width) {
+void Run(const char* label, double mean_extent, double query_half_width,
+         bench::JsonReport* report) {
   std::printf("\n-- %s (k=2) --\n", label);
   std::printf("%10s %12s %14s %14s %14s %14s\n", "N", "OUT(avg)",
               "index(us)", "kwonly(us)", "scan(us)", "itree(us)");
@@ -109,13 +110,14 @@ void Run(const char* label, double mean_extent, double query_half_width) {
                      {"index_us", t_index},
                      {"keywords_us", t_kw},
                      {"scan_us", t_scan},
-                     {"itree_us", t_itree}});
+                     {"itree_us", t_itree}},
+                    report);
     ns.push_back(n_weight);
     work.push_back(
         std::max(static_cast<double>(examined_total) / kQueries, 1.0));
   }
   bench::PrintExponent(std::string("T1.4 ") + label + " work vs N",
-                       bench::FitLogLogSlope(ns, work), 0.5);
+                       bench::FitLogLogSlope(ns, work), 0.5, report);
 }
 
 }  // namespace
@@ -126,9 +128,11 @@ int main() {
       "T1.4 RR-KW (Corollary 3)",
       "space O(N (loglog N)^{2d-2}), time ~ N^{1-1/k} (1 + OUT^{1/k}); "
       "rectangle intersection = dominance in 2d dims");
+  kwsc::bench::JsonReport report("rr_kw");
   kwsc::Run<1>("d=1 temporal intervals", /*mean_extent=*/0.02,
-               /*query_half_width=*/0.01);
+               /*query_half_width=*/0.01, &report);
   kwsc::Run<2>("d=2 geographic MBRs", /*mean_extent=*/0.01,
-               /*query_half_width=*/0.02);
+               /*query_half_width=*/0.02, &report);
+  kwsc::bench::EmitJson(&report);
   return 0;
 }

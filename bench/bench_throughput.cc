@@ -7,12 +7,18 @@
 //     a byte-identity check of the Save stream against the 1-thread build
 //     (the determinism contract of the arena-splice parallel build);
 //   * query: QPS of the batched engine (core/query_engine.h) over a fixed
-//     mixed batch at 1/2/4/8 threads.
+//     mixed batch at 1/2/4/8 threads, with per-query latency histograms
+//     (p50/p90/p99) and the QueryStats cost accounting exported to
+//     BENCH_throughput.json.
 // Speedups are relative to the 1-thread run; on a machine with fewer cores
 // than threads the extra threads cannot help — the `identical` flag must
 // hold regardless.
+//
+// Usage: bench_throughput [num_objects] [num_queries]
+// (defaults 65536 / 1024; CI runs a tiny size as a schema smoke test).
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -23,13 +29,12 @@
 #include "common/timer.h"
 #include "core/orp_kw.h"
 #include "core/query_engine.h"
+#include "obs/metrics.h"
 #include "workload/generator.h"
 
 namespace kwsc {
 namespace {
 
-constexpr uint32_t kObjects = 65536;
-constexpr int kQueries = 1024;
 constexpr int kThreadSweep[] = {1, 2, 4, 8};
 
 std::string SaveBytes(const OrpKwIndex<2>& index) {
@@ -38,15 +43,17 @@ std::string SaveBytes(const OrpKwIndex<2>& index) {
   return stream.str();
 }
 
-void Run() {
+void Run(uint32_t num_objects, int num_queries) {
   bench::JsonReport report("throughput");
-  Rng rng(kObjects * 3 + 7);
+  obs::MetricsRegistry registry;
+  Rng rng(num_objects * 3 + 7);
   CorpusSpec spec;
-  spec.num_objects = kObjects;
-  spec.vocab_size = std::max<uint32_t>(64, kObjects / 16);
+  spec.num_objects = num_objects;
+  spec.vocab_size = std::max<uint32_t>(64, num_objects / 16);
   spec.zipf_skew = 1.0;
   Corpus corpus = GenerateCorpus(spec, &rng);
-  auto pts = GeneratePoints<2>(kObjects, PointDistribution::kUniform, &rng);
+  auto pts =
+      GeneratePoints<2>(num_objects, PointDistribution::kUniform, &rng);
   const double n_weight = static_cast<double>(corpus.total_weight());
 
   // --- Build scaling ------------------------------------------------------
@@ -95,12 +102,13 @@ void Run() {
       std::exit(1);
     }
   }
+  registry.SetGauge("build_wall_ms", sequential_ms);
 
   // --- Batched query scaling ---------------------------------------------
   // Mixed batch: half selective boxes with frequent keywords, half broad
   // boxes with co-occurring keywords (the W1/W2 regimes of bench_orp_kw).
   std::vector<BatchQuery<Box<2>>> batch;
-  for (int i = 0; i < kQueries; ++i) {
+  for (int i = 0; i < num_queries; ++i) {
     const bool selective = i % 2 == 0;
     batch.push_back(
         {GenerateBoxQuery(std::span<const Point<2>>(pts),
@@ -111,43 +119,74 @@ void Run() {
                            &rng)});
   }
 
-  std::printf("\n-- batched queries, %d per batch --\n", kQueries);
-  std::printf("%8s %12s %12s %10s %12s\n", "threads", "batch(us)", "QPS",
-              "speedup", "results");
+  std::printf("\n-- batched queries, %d per batch --\n", num_queries);
+  std::printf("%8s %12s %12s %10s %12s %10s %10s\n", "threads", "batch(us)",
+              "QPS", "speedup", "results", "p50(us)", "p99(us)");
   double single_thread_us = 0.0;
   for (int threads : kThreadSweep) {
-    QueryEngine<OrpKwIndex<2>> engine(&*query_index, threads);
+    FrameworkOptions engine_opt;
+    engine_opt.num_threads = threads;
+    QueryEngine<OrpKwIndex<2>> engine(&*query_index, engine_opt, &registry);
     const auto stats_probe = engine.Run(batch);
     const double us = bench::MedianMicros([&] { engine.Run(batch); });
     if (threads == 1) single_thread_us = us;
-    const double qps = us > 0 ? kQueries / (us / 1e6) : 0.0;
+    const double qps = us > 0 ? num_queries / (us / 1e6) : 0.0;
     const double speedup = us > 0 ? single_thread_us / us : 0.0;
-    std::printf("%8d %12.0f %12.0f %10.2f %12llu\n", threads, us, qps,
-                speedup,
-                static_cast<unsigned long long>(stats_probe.stats.results));
+    const double p50_us =
+        static_cast<double>(stats_probe.latency.P50()) / 1e3;
+    const double p90_us =
+        static_cast<double>(stats_probe.latency.P90()) / 1e3;
+    const double p99_us =
+        static_cast<double>(stats_probe.latency.P99()) / 1e3;
+    std::printf("%8d %12.0f %12.0f %10.2f %12llu %10.1f %10.1f\n", threads,
+                us, qps, speedup,
+                static_cast<unsigned long long>(stats_probe.stats.results),
+                p50_us, p99_us);
     bench::PrintCsv("THR-query",
                     {{"N", n_weight},
                      {"threads", double(threads)},
                      {"batch_us", us},
                      {"qps", qps},
                      {"speedup", speedup},
-                     {"results", double(stats_probe.stats.results)}},
+                     {"results", double(stats_probe.stats.results)},
+                     {"p50_us", p50_us},
+                     {"p90_us", p90_us},
+                     {"p99_us", p99_us}},
                     &report);
+    report.AddHistogram("query_latency_ns_t" + std::to_string(threads),
+                        stats_probe.latency, "ns");
+    if (threads == 1) {
+      // The cost accounting is thread-count invariant (the engine's
+      // determinism contract); export the 1-thread aggregate once.
+      report.AddHistogram("query_work_objects", stats_probe.work, "objects");
+      obs::AddQueryStatsCounters(stats_probe.stats, "batch_stats",
+                                 report.mutable_registry());
+    }
   }
 
-  const std::string path = report.Write();
-  if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
+  report.MergeRegistry(registry);
+  bench::EmitJson(&report);
 }
 
 }  // namespace
 }  // namespace kwsc
 
-int main() {
+int main(int argc, char** argv) {
+  uint32_t num_objects = 65536;
+  int num_queries = 1024;
+  if (argc > 1) num_objects = static_cast<uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) num_queries = std::atoi(argv[2]);
+  if (num_objects < 256 || num_queries < 8) {
+    std::fprintf(stderr,
+                 "usage: bench_throughput [num_objects >= 256] "
+                 "[num_queries >= 8]\n");
+    return 2;
+  }
   kwsc::bench::PrintHeader(
       "THR build + batched-query thread scaling",
       "parallel build is byte-identical to sequential and faster on "
       "multi-core; batched QPS scales with threads (per-query bounds are "
       "untouched)");
-  kwsc::Run();
+  kwsc::Run(num_objects, num_queries);
   return 0;
 }

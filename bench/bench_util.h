@@ -6,6 +6,10 @@
 //   * machine-readable "CSV," lines for downstream plotting, and
 //   * fitted log-log slopes ("measured exponents") so the scaling claims of
 //     Table 1 are checked numerically, not by eyeball.
+// Benches that track their perf trajectory additionally emit a
+// schema-versioned BENCH_<name>.json (obs::JsonExporter) via EmitJson —
+// sweep points, exponents, counters/gauges (peak RSS, build wall time), and
+// latency/work histograms, validated in CI by tools/check_bench_json.sh.
 
 #ifndef KWSC_BENCH_BENCH_UTIL_H_
 #define KWSC_BENCH_BENCH_UTIL_H_
@@ -18,13 +22,18 @@
 #include <string>
 #include <vector>
 
+#include "common/memory.h"
 #include "common/timer.h"
+#include "obs/json_exporter.h"
+#include "obs/stats.h"
 
 namespace kwsc {
 namespace bench {
 
 /// Median wall-clock microseconds of `fn` over `reps` runs (after one
-/// warm-up run). `fn` should execute one full query batch.
+/// warm-up run). `fn` should execute one full query batch. Uses the true
+/// median (mean of the two middle elements for even `reps`), not the
+/// upper-middle element.
 inline double MedianMicros(const std::function<void()>& fn, int reps = 5) {
   fn();  // Warm-up.
   std::vector<double> times;
@@ -34,8 +43,7 @@ inline double MedianMicros(const std::function<void()>& fn, int reps = 5) {
     fn();
     times.push_back(timer.ElapsedMicros());
   }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  return obs::Median(std::move(times));
 }
 
 /// Least-squares slope of log(y) against log(x): the measured scaling
@@ -83,76 +91,10 @@ inline void PrintExponent(const std::string& label, double measured,
               label.c_str(), measured, expected);
 }
 
-/// Machine-trackable bench output: collects the sweep points and fitted
-/// exponents a bench prints and writes them as BENCH_<name>.json in the
-/// working directory, so successive runs can be diffed by tooling instead of
-/// by scraping stdout. Keys are bench-authored identifiers (no escaping);
-/// non-finite values become JSON null.
-class JsonReport {
- public:
-  explicit JsonReport(std::string name) : name_(std::move(name)) {}
-
-  void AddPoint(const std::vector<std::pair<std::string, double>>& kv) {
-    points_.push_back(kv);
-  }
-
-  void AddExponent(const std::string& label, double measured,
-                   double expected) {
-    exponents_.push_back({label, measured, expected});
-  }
-
-  /// Returns the path written, or "" on failure (reported on stderr — a
-  /// bench should still finish its stdout protocol).
-  std::string Write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n",
-                   path.c_str());
-      return "";
-    }
-    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"points\": [", name_.c_str());
-    for (size_t i = 0; i < points_.size(); ++i) {
-      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
-      for (size_t j = 0; j < points_[i].size(); ++j) {
-        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
-                     points_[i][j].first.c_str(),
-                     Num(points_[i][j].second).c_str());
-      }
-      std::fprintf(f, "}");
-    }
-    std::fprintf(f, "\n  ],\n  \"exponents\": [");
-    for (size_t i = 0; i < exponents_.size(); ++i) {
-      std::fprintf(f,
-                   "%s\n    {\"label\": \"%s\", \"measured\": %s, "
-                   "\"expected\": %s}",
-                   i == 0 ? "" : ",", exponents_[i].label.c_str(),
-                   Num(exponents_[i].measured).c_str(),
-                   Num(exponents_[i].expected).c_str());
-    }
-    std::fprintf(f, "\n  ]\n}\n");
-    std::fclose(f);
-    return path;
-  }
-
- private:
-  struct Exponent {
-    std::string label;
-    double measured;
-    double expected;
-  };
-
-  static std::string Num(double v) {
-    if (!std::isfinite(v)) return "null";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    return buf;
-  }
-
-  std::string name_;
-  std::vector<std::vector<std::pair<std::string, double>>> points_;
-  std::vector<Exponent> exponents_;
-};
+/// The machine-trackable bench report. Historically a bench-local JSON
+/// writer; now the observability layer's schema-versioned exporter
+/// (src/obs/json_exporter.h) used directly.
+using JsonReport = obs::JsonExporter;
 
 /// PrintCsv that also records the row into a report (nullptr = print only).
 inline void PrintCsv(const std::string& experiment,
@@ -167,6 +109,16 @@ inline void PrintExponent(const std::string& label, double measured,
                           double expected, JsonReport* report) {
   if (report != nullptr) report->AddExponent(label, measured, expected);
   PrintExponent(label, measured, expected);
+}
+
+/// The one EmitJson path every bench ends with: stamps process-wide gauges
+/// (peak RSS), writes BENCH_<name>.json, and announces the path on stdout.
+/// Returns the path written ("" on failure).
+inline std::string EmitJson(JsonReport* report) {
+  report->SetGauge("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
+  const std::string path = report->Write();
+  if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace bench

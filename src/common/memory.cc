@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 
 namespace kwsc {
 
@@ -23,6 +24,28 @@ std::string FormatBytes(size_t bytes) {
     std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
   }
   return buf;
+}
+
+size_t PeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  size_t peak_kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long kib = 0;
+      if (std::sscanf(line + 6, "%llu", &kib) == 1) {
+        peak_kib = static_cast<size_t>(kib);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_kib * 1024;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace kwsc

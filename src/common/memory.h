@@ -33,6 +33,12 @@ size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
 /// Human-readable byte count, e.g. "3.2 MiB".
 std::string FormatBytes(size_t bytes);
 
+/// Peak resident set size of this process in bytes (Linux: VmHWM from
+/// /proc/self/status). Returns 0 where the platform offers no cheap probe.
+/// Feeds the observability registry so BENCH_*.json records the memory
+/// high-water mark alongside build wall time.
+size_t PeakRssBytes();
+
 }  // namespace kwsc
 
 #endif  // KWSC_COMMON_MEMORY_H_

@@ -29,8 +29,13 @@ class OpsBudget {
   explicit OpsBudget(uint64_t limit) : limit_(limit) {}
 
   /// Charges `n` operations; returns false once the budget is exhausted.
+  /// The add saturates at uint64_t max: without saturation a charge near the
+  /// counter's ceiling would wrap spent_ back to a small value and silently
+  /// un-exhaust the budget (and an unlimited budget would oscillate).
   bool Charge(uint64_t n = 1) {
-    spent_ += n;
+    spent_ = spent_ > std::numeric_limits<uint64_t>::max() - n
+                 ? std::numeric_limits<uint64_t>::max()
+                 : spent_ + n;
     return spent_ <= limit_;
   }
 

@@ -73,6 +73,14 @@ struct FrameworkOptions {
   /// from serialization (see PersistedFrameworkOptions).
   int num_threads = 1;
 
+  /// Records a per-query trace (phase spans + a QueryStats snapshot per
+  /// query, see obs/trace.h) when batches run through core/query_engine.h.
+  /// Off by default: tracing copies a QueryStats per query, and the hot path
+  /// must not pay for observability nobody asked for. Like num_threads this
+  /// is an execution property, not an index property, and is excluded from
+  /// serialization (see PersistedFrameworkOptions).
+  bool enable_tracing = false;
+
   double EffectiveAlpha() const {
     return alpha > 0 ? alpha : 1.0 - 1.0 / static_cast<double>(k);
   }

@@ -1,0 +1,196 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Deterministic log-bucket latency histogram.
+//
+// The bucket boundaries are fixed at compile time (they depend on nothing but
+// the value being recorded), merging is exact bucket-wise addition, and the
+// quantile estimator returns a bucket boundary — so two histograms built from
+// the same multiset of values are bit-identical no matter how the recording
+// was sharded or in which order partial histograms were merged. This is the
+// same determinism contract MergeQueryStats gives the batched query engine:
+// shard-local recording + ordered merge == sequential recording.
+//
+// Bucketing scheme (HdrHistogram-style, base 2): values 0..7 get exact
+// buckets; above that each power-of-two octave is split into 8 sub-buckets,
+// bounding the relative rounding error of any recorded value by 1/8. Values
+// are unsigned "ticks" — the unit (nanoseconds on the query path) is the
+// caller's choice and is carried alongside by the exporter, not by the
+// histogram.
+
+#ifndef KWSC_OBS_HISTOGRAM_H_
+#define KWSC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace kwsc {
+namespace obs {
+
+class Histogram {
+ public:
+  /// Sub-buckets per power-of-two octave (8 => <= 12.5% relative error).
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  /// Exact buckets for 0..kSubBuckets-1 plus kSubBuckets buckets for every
+  /// octave [2^m, 2^{m+1}) with m in [kSubBucketBits, 63].
+  static constexpr int kNumBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  /// Bucket index of `value`; fixed for all time (the JSON schema depends on
+  /// it — bump the exporter's schema version if this ever changes).
+  static int BucketIndex(uint64_t value) {
+    if (value < static_cast<uint64_t>(kSubBuckets)) {
+      return static_cast<int>(value);
+    }
+    const int msb = 63 - std::countl_zero(value);
+    const int sub = static_cast<int>((value >> (msb - kSubBucketBits)) &
+                                     (kSubBuckets - 1));
+    return (msb - kSubBucketBits) * kSubBuckets + sub + kSubBuckets;
+  }
+
+  /// Smallest value mapping to bucket `index`.
+  static uint64_t BucketLowerBound(int index) {
+    if (index < kSubBuckets) return static_cast<uint64_t>(index);
+    const int j = index - kSubBuckets;
+    const int msb = j / kSubBuckets + kSubBucketBits;
+    const int sub = j % kSubBuckets;
+    return (uint64_t{1} << msb) |
+           (static_cast<uint64_t>(sub) << (msb - kSubBucketBits));
+  }
+
+  /// Largest value mapping to bucket `index`.
+  static uint64_t BucketUpperBound(int index) {
+    if (index + 1 >= kNumBuckets) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    return BucketLowerBound(index + 1) - 1;
+  }
+
+  void Record(uint64_t value) {
+    ++counts_[static_cast<size_t>(BucketIndex(value))];
+    ++count_;
+    sum_ = SaturatingAdd(sum_, value);
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Convenience for callers timing in (fractional) microseconds: records
+  /// the value rounded to whole nanoseconds, clamping negatives to zero.
+  void RecordMicros(double micros) {
+    const double nanos = micros * 1e3;
+    Record(nanos <= 0.0 ? 0 : static_cast<uint64_t>(nanos + 0.5));
+  }
+
+  /// Exact merge: afterwards `this` is identical to a histogram that
+  /// recorded both input multisets. Commutative and associative.
+  void Merge(const Histogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      counts_[static_cast<size_t>(i)] += other.counts_[static_cast<size_t>(i)];
+    }
+    count_ += other.count_;
+    sum_ = SaturatingAdd(sum_, other.sum_);
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the element of rank ceil(q * count) (clamped to the observed max, so
+  /// Quantile(1.0) == max()). Deterministic given the recorded multiset;
+  /// rounding error is bounded by the bucket width (<= 1/8 relative).
+  uint64_t ValueAtQuantile(double q) const {
+    if (count_ == 0) return 0;
+    double target = std::ceil(q * static_cast<double>(count_));
+    if (target < 1.0) target = 1.0;
+    uint64_t rank = static_cast<uint64_t>(target);
+    if (rank > count_) rank = count_;
+    uint64_t cumulative = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      cumulative += counts_[static_cast<size_t>(i)];
+      if (cumulative >= rank) {
+        const uint64_t upper = BucketUpperBound(i);
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;
+  }
+
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P90() const { return ValueAtQuantile(0.90); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+
+  uint64_t BucketCount(int index) const {
+    return counts_[static_cast<size_t>(index)];
+  }
+
+  /// Calls fn(index, lower_bound, upper_bound, count) for every non-empty
+  /// bucket, in increasing value order.
+  template <typename Fn>
+  void ForEachNonEmptyBucket(Fn&& fn) const {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      if (counts_[static_cast<size_t>(i)] != 0) {
+        fn(i, BucketLowerBound(i), BucketUpperBound(i),
+           counts_[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
+  bool operator==(const Histogram& other) const {
+    return count_ == other.count_ && sum_ == other.sum_ &&
+           min() == other.min() && max_ == other.max_ &&
+           counts_ == other.counts_;
+  }
+  bool operator!=(const Histogram& other) const { return !(*this == other); }
+
+  /// Canonical text form — two histograms are byte-identical here iff they
+  /// recorded the same multiset. The determinism tests compare these.
+  std::string DebugString() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "count=%llu sum=%llu min=%llu max=%llu buckets=",
+                  static_cast<unsigned long long>(count_),
+                  static_cast<unsigned long long>(sum_),
+                  static_cast<unsigned long long>(min()),
+                  static_cast<unsigned long long>(max_));
+    std::string out = buf;
+    ForEachNonEmptyBucket([&](int i, uint64_t, uint64_t, uint64_t c) {
+      std::snprintf(buf, sizeof(buf), "[%d:%llu]", i,
+                    static_cast<unsigned long long>(c));
+      out += buf;
+    });
+    return out;
+  }
+
+ private:
+  static uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+    return a > std::numeric_limits<uint64_t>::max() - b
+               ? std::numeric_limits<uint64_t>::max()
+               : a + b;
+  }
+
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+};
+
+}  // namespace obs
+}  // namespace kwsc
+
+#endif  // KWSC_OBS_HISTOGRAM_H_

@@ -1,0 +1,118 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "obs/json_exporter.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kwsc {
+namespace obs {
+namespace {
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteHistogram(std::FILE* f, const std::string& name,
+                    const std::string& unit, const Histogram& h) {
+  std::fprintf(f,
+               "{\"name\": \"%s\", \"unit\": \"%s\", \"count\": %llu, "
+               "\"sum\": %llu, \"min\": %llu, \"max\": %llu, \"mean\": %s, "
+               "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, \"buckets\": [",
+               name.c_str(), unit.c_str(),
+               static_cast<unsigned long long>(h.count()),
+               static_cast<unsigned long long>(h.sum()),
+               static_cast<unsigned long long>(h.min()),
+               static_cast<unsigned long long>(h.max()),
+               Num(h.Mean()).c_str(),
+               static_cast<unsigned long long>(h.P50()),
+               static_cast<unsigned long long>(h.P90()),
+               static_cast<unsigned long long>(h.P99()));
+  bool first = true;
+  h.ForEachNonEmptyBucket([&](int index, uint64_t lo, uint64_t hi,
+                              uint64_t count) {
+    std::fprintf(f, "%s{\"i\": %d, \"lo\": %llu, \"hi\": %llu, \"n\": %llu}",
+                 first ? "" : ", ", index,
+                 static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi),
+                 static_cast<unsigned long long>(count));
+    first = false;
+  });
+  std::fprintf(f, "]}");
+}
+
+}  // namespace
+
+std::string JsonExporter::Write() const {
+  return WriteTo("BENCH_" + name_ + ".json");
+}
+
+std::string JsonExporter::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonExporter: cannot open %s for writing\n",
+                 path.c_str());
+    return "";
+  }
+  std::fprintf(f,
+               "{\n  \"schema\": \"kwsc-bench\",\n  \"schema_version\": %d,\n"
+               "  \"name\": \"%s\",\n  \"points\": [",
+               kSchemaVersion, name_.c_str());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+    for (size_t j = 0; j < points_[i].size(); ++j) {
+      std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                   points_[i][j].first.c_str(),
+                   Num(points_[i][j].second).c_str());
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ],\n  \"exponents\": [");
+  for (size_t i = 0; i < exponents_.size(); ++i) {
+    std::fprintf(f,
+                 "%s\n    {\"label\": \"%s\", \"measured\": %s, "
+                 "\"expected\": %s}",
+                 i == 0 ? "" : ",", exponents_[i].label.c_str(),
+                 Num(exponents_[i].measured).c_str(),
+                 Num(exponents_[i].expected).c_str());
+  }
+  std::fprintf(f, "\n  ],\n  \"counters\": {");
+  {
+    bool first = true;
+    for (const auto& [name, value] : registry_.counters()) {
+      std::fprintf(f, "%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                   static_cast<unsigned long long>(value));
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  },\n  \"gauges\": {");
+  {
+    bool first = true;
+    for (const auto& [name, value] : registry_.gauges()) {
+      std::fprintf(f, "%s\n    \"%s\": %s", first ? "" : ",", name.c_str(),
+                   Num(value).c_str());
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  },\n  \"histograms\": [");
+  {
+    bool first = true;
+    for (const auto& [name, histogram] : registry_.histograms()) {
+      const auto unit_it = units_.find(name);
+      const std::string unit =
+          unit_it == units_.end() ? "ns" : unit_it->second;
+      std::fprintf(f, "%s\n    ", first ? "" : ",");
+      WriteHistogram(f, name, unit, histogram);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace obs
+}  // namespace kwsc

@@ -1,0 +1,127 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Schema-versioned machine-readable perf export.
+//
+// JsonExporter collects everything a bench (or a test harness) measures —
+// sweep points, fitted exponents, counters, gauges, and latency/work
+// histograms — and writes a single BENCH_<name>.json the perf-trajectory
+// tooling can diff across commits. The schema is versioned
+// ("kwsc-bench", schema_version): any change to field meaning, histogram
+// bucketing, or units bumps kSchemaVersion. tools/check_bench_json.sh
+// validates emitted files against this schema in CI; the field-by-field
+// reference lives in EXPERIMENTS.md ("BENCH_*.json schema").
+//
+// Keys are bench-authored identifiers (no escaping is performed); non-finite
+// doubles become JSON null.
+
+#ifndef KWSC_OBS_JSON_EXPORTER_H_
+#define KWSC_OBS_JSON_EXPORTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/framework.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace kwsc {
+namespace obs {
+
+class JsonExporter {
+ public:
+  /// Bump on any breaking change to the emitted layout, units, or to
+  /// Histogram's bucket boundaries (bucket indices are part of the schema).
+  static constexpr int kSchemaVersion = 1;
+
+  explicit JsonExporter(std::string name) : name_(std::move(name)) {}
+
+  /// One sweep row: ordered (key, value) pairs.
+  void AddPoint(const std::vector<std::pair<std::string, double>>& kv) {
+    points_.push_back(kv);
+  }
+
+  /// One fitted log-log slope with the paper's expected shape.
+  void AddExponent(const std::string& label, double measured, double expected) {
+    exponents_.push_back({label, measured, expected});
+  }
+
+  void AddCounter(const std::string& name, uint64_t delta) {
+    registry_.AddCounter(name, delta);
+  }
+
+  void SetGauge(const std::string& name, double value) {
+    registry_.SetGauge(name, value);
+  }
+
+  /// Records a histogram under `name`; `unit` documents the tick unit of
+  /// the recorded values ("ns" on the query path). Merging into an existing
+  /// name is exact.
+  void AddHistogram(const std::string& name, const Histogram& histogram,
+                    const std::string& unit = "ns") {
+    units_[name] = unit;
+    registry_.MergeHistogram(name, histogram);
+  }
+
+  /// Folds a whole registry in (histograms default to unit "ns" unless a
+  /// unit was already declared for that name).
+  void MergeRegistry(const MetricsRegistry& registry) {
+    registry_.Merge(registry);
+  }
+
+  const std::string& name() const { return name_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  /// Direct access for helpers that feed a registry (AddQueryStatsCounters).
+  MetricsRegistry* mutable_registry() { return &registry_; }
+
+  /// Writes BENCH_<name>.json in the working directory. Returns the path
+  /// written, or "" on failure (reported on stderr — a bench should still
+  /// finish its stdout protocol).
+  std::string Write() const;
+
+  /// Writes to an explicit path ("" on failure).
+  std::string WriteTo(const std::string& path) const;
+
+ private:
+  struct Exponent {
+    std::string label;
+    double measured;
+    double expected;
+  };
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, double>>> points_;
+  std::vector<Exponent> exponents_;
+  MetricsRegistry registry_;
+  std::map<std::string, std::string> units_;
+};
+
+/// Exports a QueryStats aggregate as "<prefix>." counters — the paper's cost
+/// accounting by name: covered vs. crossing nodes and work (Lemma 9 / bound
+/// (7)), pruning counts, materialized-list scans, and budgeted terminations
+/// (footnote 4).
+inline void AddQueryStatsCounters(const QueryStats& stats,
+                                  const std::string& prefix,
+                                  MetricsRegistry* registry) {
+  registry->AddCounter(prefix + ".nodes_visited", stats.nodes_visited);
+  registry->AddCounter(prefix + ".covered_nodes", stats.covered_nodes);
+  registry->AddCounter(prefix + ".crossing_nodes", stats.crossing_nodes);
+  registry->AddCounter(prefix + ".covered_work", stats.covered_work);
+  registry->AddCounter(prefix + ".crossing_work", stats.crossing_work);
+  registry->AddCounter(prefix + ".pivot_checks", stats.pivot_checks);
+  registry->AddCounter(prefix + ".list_scanned", stats.list_scanned);
+  registry->AddCounter(prefix + ".results", stats.results);
+  registry->AddCounter(prefix + ".tuple_pruned", stats.tuple_pruned);
+  registry->AddCounter(prefix + ".geom_pruned", stats.geom_pruned);
+  registry->AddCounter(prefix + ".type1_nodes", stats.type1_nodes);
+  registry->AddCounter(prefix + ".type2_nodes", stats.type2_nodes);
+  registry->AddCounter(prefix + ".budget_exhausted",
+                       stats.budget_exhausted ? 1 : 0);
+}
+
+}  // namespace obs
+}  // namespace kwsc
+
+#endif  // KWSC_OBS_JSON_EXPORTER_H_

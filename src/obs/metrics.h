@@ -1,0 +1,79 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// A registry of named counters, gauges, and histograms.
+//
+// The registry is the aggregation point the serving-style surfaces (query
+// engine, benches) feed: monotonically increasing uint64 counters (queries
+// run, budget exhaustions), point-in-time double gauges (build wall time,
+// peak RSS), and log-bucket histograms (per-query latency and work). Names
+// are stored in ordered maps so iteration — and therefore every export — is
+// deterministic. Not thread-safe: shards record into local structures and
+// the owner merges them in a fixed order (the same discipline as
+// MergeQueryStats).
+
+#ifndef KWSC_OBS_METRICS_H_
+#define KWSC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace kwsc {
+namespace obs {
+
+class MetricsRegistry {
+ public:
+  void AddCounter(const std::string& name, uint64_t delta) {
+    counters_[name] += delta;
+  }
+
+  /// Value of a counter, 0 if it was never touched.
+  uint64_t CounterValue(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void SetGauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+
+  double GaugeValue(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  /// The named histogram, created empty on first use.
+  Histogram* MutableHistogram(const std::string& name) {
+    return &histograms_[name];
+  }
+
+  void MergeHistogram(const std::string& name, const Histogram& h) {
+    histograms_[name].Merge(h);
+  }
+
+  /// Folds every metric of `other` into this registry (counters add, gauges
+  /// overwrite, histograms merge exactly).
+  void Merge(const MetricsRegistry& other) {
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+    for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+    for (const auto& [name, h] : other.histograms_) histograms_[name].Merge(h);
+  }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace kwsc
+
+#endif  // KWSC_OBS_METRICS_H_

@@ -1,0 +1,31 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Small order-statistics helpers shared by the observability layer and the
+// benchmark harness.
+
+#ifndef KWSC_OBS_STATS_H_
+#define KWSC_OBS_STATS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace kwsc {
+namespace obs {
+
+/// True median of `values` (not the upper-middle element): for an even count
+/// the mean of the two middle elements, for an odd count the middle element.
+/// Takes its argument by value because it sorts.
+inline double Median(std::vector<double> values) {
+  KWSC_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+}  // namespace obs
+}  // namespace kwsc
+
+#endif  // KWSC_OBS_STATS_H_

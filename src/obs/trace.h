@@ -1,0 +1,57 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Lightweight per-batch trace recording for the query path.
+//
+// A QueryTrace captures, for one QueryEngine::Run, the batch-level phase
+// spans (shard execution, stats merge) and one span per query: where it ran
+// (shard), when it started relative to batch start, how long it took, and the
+// QueryStats snapshot of exactly that query — the paper's cost accounting
+// (covered vs. crossing work, pruning counts, budget exhaustion) at
+// single-query granularity. Recording is off by default
+// (FrameworkOptions::enable_tracing) because snapshotting per-query stats
+// costs a QueryStats copy per query; with it off the engine never touches
+// these structures beyond an empty-vector move.
+
+#ifndef KWSC_OBS_TRACE_H_
+#define KWSC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace kwsc {
+namespace obs {
+
+/// One batch-level phase (setup / execute / merge), timed relative to
+/// QueryEngine::Run entry.
+struct TraceSpan {
+  std::string name;
+  double start_micros = 0.0;
+  double duration_micros = 0.0;
+};
+
+/// One query's execution record.
+struct QuerySpan {
+  uint32_t query_index = 0;   // Position in the input batch.
+  uint32_t shard = 0;         // Which shard ran it.
+  double start_micros = 0.0;  // Relative to QueryEngine::Run entry.
+  double duration_micros = 0.0;
+  QueryStats stats;           // This query's counters alone (not cumulative).
+};
+
+struct QueryTrace {
+  /// True when the engine that produced this trace had tracing enabled;
+  /// false traces are empty.
+  bool enabled = false;
+  std::vector<TraceSpan> phases;
+  /// Query spans in shard order then batch order within a shard — which,
+  /// with contiguous sharding, is exactly input batch order.
+  std::vector<QuerySpan> queries;
+};
+
+}  // namespace obs
+}  // namespace kwsc
+
+#endif  // KWSC_OBS_TRACE_H_

@@ -222,6 +222,28 @@ TEST(OpsBudget, BulkCharge) {
   EXPECT_FALSE(budget.Charge(1));
 }
 
+// Regression: Charge used a plain add, so charging near uint64_t max
+// wrapped spent_ around to a small value and silently un-exhausted the
+// budget. The add must saturate.
+TEST(OpsBudget, ChargeSaturatesInsteadOfWrapping) {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  OpsBudget budget(100);
+  EXPECT_TRUE(budget.Charge(100));
+  EXPECT_FALSE(budget.Charge(kMax));  // Would wrap; must saturate.
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(budget.spent(), kMax);
+  EXPECT_FALSE(budget.Charge(kMax));  // Stays pinned at the ceiling.
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(budget.spent(), kMax);
+}
+
+TEST(OpsBudget, UnlimitedBudgetNeverExhaustsEvenSaturated) {
+  OpsBudget budget;  // limit == uint64_t max.
+  EXPECT_TRUE(budget.Charge(std::numeric_limits<uint64_t>::max()));
+  EXPECT_TRUE(budget.Charge(std::numeric_limits<uint64_t>::max()));
+  EXPECT_FALSE(budget.Exhausted());
+}
+
 TEST(FormatBytes, HumanReadable) {
   EXPECT_EQ(FormatBytes(512), "512 B");
   EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
@@ -232,6 +254,18 @@ TEST(VectorBytes, CountsCapacity) {
   std::vector<int> v;
   v.reserve(100);
   EXPECT_EQ(VectorBytes(v), 100 * sizeof(int));
+}
+
+TEST(PeakRssBytes, ReportsProcessHighWaterMarkOnLinux) {
+#if defined(__linux__)
+  const size_t peak = PeakRssBytes();
+  EXPECT_GT(peak, 0u);
+  // Touching a real allocation cannot lower the high-water mark.
+  std::vector<char> block(1 << 20, 1);
+  EXPECT_GE(PeakRssBytes() + (1 << 20), peak);
+#else
+  SUCCEED();
+#endif
 }
 
 }  // namespace

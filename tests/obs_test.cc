@@ -1,0 +1,284 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the observability layer (src/obs/): the deterministic
+// log-bucket histogram (bucketing, quantiles, exact merge), order statistics
+// (the true-median regression test for bench_util's MedianMicros), the
+// metrics registry, and the schema-versioned JSON exporter.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/histogram.h"
+#include "obs/json_exporter.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+
+namespace kwsc {
+namespace obs {
+namespace {
+
+TEST(Median, OddCountIsMiddleElement) {
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+// Regression: MedianMicros used to return the upper-middle element
+// (times[size/2]) for even rep counts — {1,2,3,4} gave 3, not 2.5.
+TEST(Median, EvenCountAveragesTheTwoMiddleElements) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({10.0, 0.0, 0.0, 10.0, 10.0, 0.0}), 5.0);
+}
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    const int index = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(index), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(index), v);
+  }
+}
+
+TEST(Histogram, BucketsPartitionTheValueAxis) {
+  // Every bucket's range maps back to that bucket, and consecutive buckets
+  // tile the axis without gaps or overlap.
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    const uint64_t hi = Histogram::BucketUpperBound(i);
+    ASSERT_LE(lo, hi) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(lo), i);
+    EXPECT_EQ(Histogram::BucketIndex(hi), i);
+    if (i + 1 < Histogram::kNumBuckets) {
+      EXPECT_EQ(Histogram::BucketLowerBound(i + 1), hi + 1);
+    } else {
+      EXPECT_EQ(hi, std::numeric_limits<uint64_t>::max());
+    }
+  }
+}
+
+TEST(Histogram, BoundedRelativeError) {
+  Rng rng(404);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const uint64_t v = rng.NextBounded(uint64_t{1} << 48) + 1;
+    const int i = Histogram::BucketIndex(v);
+    const double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+    const double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+    // Bucket width <= value / kSubBuckets: <= 12.5% relative rounding.
+    EXPECT_LE(hi - lo + 1, static_cast<double>(v) / Histogram::kSubBuckets +
+                               1.0)
+        << "value " << v;
+  }
+}
+
+TEST(Histogram, CountSumMinMaxExact) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  h.Record(7);
+  h.Record(3);
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1010u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 1010.0 / 3.0, 1e-9);
+}
+
+TEST(Histogram, QuantilesOnExactBuckets) {
+  // Values < kSubBuckets land in exact buckets, so quantiles are exact.
+  Histogram h;
+  for (uint64_t v = 0; v < 8; ++v) h.Record(v);  // One each of 0..7.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.P50(), 3u);   // rank 4 -> value 3.
+  EXPECT_EQ(h.P99(), 7u);   // rank 8 -> value 7.
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 7u);
+}
+
+TEST(Histogram, QuantileWithinBucketBoundsOfExactRankValue) {
+  Histogram h;
+  for (uint64_t v = 0; v < 100; ++v) h.Record(v);
+  // Rank 50 is value 49; the estimator returns its bucket's upper bound.
+  const int b = Histogram::BucketIndex(49);
+  EXPECT_GE(h.P50(), Histogram::BucketLowerBound(b));
+  EXPECT_LE(h.P50(), Histogram::BucketUpperBound(b));
+  // Quantile(1.0) clamps to the observed max even mid-bucket.
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 99u);
+}
+
+TEST(Histogram, MergeEqualsSingleRecorder) {
+  Rng rng(505);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.NextBounded(1 << 20));
+
+  Histogram all;
+  for (uint64_t v : values) all.Record(v);
+
+  // Any sharding and any merge order reproduce the same histogram.
+  for (size_t shards : {2u, 3u, 7u}) {
+    std::vector<Histogram> parts(shards);
+    for (size_t i = 0; i < values.size(); ++i) {
+      parts[i % shards].Record(values[i]);
+    }
+    Histogram merged_forward;
+    for (const Histogram& p : parts) merged_forward.Merge(p);
+    Histogram merged_backward;
+    for (size_t s = shards; s-- > 0;) merged_backward.Merge(parts[s]);
+    EXPECT_TRUE(merged_forward == all) << shards << " shards";
+    EXPECT_TRUE(merged_backward == all) << shards << " shards reversed";
+    EXPECT_EQ(merged_forward.DebugString(), all.DebugString());
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram h;
+  h.Record(42);
+  Histogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  Histogram other;
+  other.Merge(h);
+  EXPECT_TRUE(other == h);
+}
+
+TEST(Histogram, RecordMicrosConvertsToNanos) {
+  Histogram h;
+  h.RecordMicros(1.5);    // 1500 ns.
+  h.RecordMicros(-3.0);   // Clamped to 0.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  const int b = Histogram::BucketIndex(1500);
+  EXPECT_GE(h.max(), Histogram::BucketLowerBound(b));
+  EXPECT_LE(h.max(), Histogram::BucketUpperBound(b));
+}
+
+TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("absent"), 0u);
+  registry.AddCounter("queries", 3);
+  registry.AddCounter("queries", 4);
+  EXPECT_EQ(registry.CounterValue("queries"), 7u);
+}
+
+TEST(MetricsRegistry, GaugesOverwrite) {
+  MetricsRegistry registry;
+  registry.SetGauge("build_ms", 10.0);
+  registry.SetGauge("build_ms", 12.5);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("build_ms"), 12.5);
+}
+
+TEST(MetricsRegistry, IterationIsSortedByName) {
+  MetricsRegistry registry;
+  registry.AddCounter("zebra", 1);
+  registry.AddCounter("alpha", 1);
+  registry.AddCounter("mid", 1);
+  std::vector<std::string> names;
+  for (const auto& [name, value] : registry.counters()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST(MetricsRegistry, MergeFoldsEverything) {
+  MetricsRegistry a;
+  a.AddCounter("c", 1);
+  a.SetGauge("g", 1.0);
+  a.MutableHistogram("h")->Record(5);
+  MetricsRegistry b;
+  b.AddCounter("c", 2);
+  b.SetGauge("g", 2.0);
+  b.MutableHistogram("h")->Record(6);
+  a.Merge(b);
+  EXPECT_EQ(a.CounterValue("c"), 3u);
+  EXPECT_DOUBLE_EQ(a.GaugeValue("g"), 2.0);
+  EXPECT_EQ(a.histograms().at("h").count(), 2u);
+  EXPECT_EQ(a.histograms().at("h").min(), 5u);
+  EXPECT_EQ(a.histograms().at("h").max(), 6u);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(JsonExporter, WritesSchemaVersionedRecord) {
+  JsonExporter exporter("obs_test");
+  exporter.AddPoint({{"N", 1024.0}, {"build_ms", 1.5}});
+  exporter.AddExponent("work vs N", 0.51, 0.5);
+  exporter.AddCounter("queries", 64);
+  exporter.SetGauge("build_wall_ms", 12.5);
+  Histogram latency;
+  for (uint64_t v = 100; v < 200; ++v) latency.Record(v);
+  exporter.AddHistogram("query_latency_ns", latency, "ns");
+
+  const std::string path = exporter.Write();
+  ASSERT_EQ(path, "BENCH_obs_test.json");
+  const std::string body = ReadFile(path);
+  std::remove(path.c_str());
+
+  EXPECT_NE(body.find("\"schema\": \"kwsc-bench\""), std::string::npos);
+  EXPECT_NE(body.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"obs_test\""), std::string::npos);
+  EXPECT_NE(body.find("\"N\": 1024"), std::string::npos);
+  EXPECT_NE(body.find("\"label\": \"work vs N\""), std::string::npos);
+  EXPECT_NE(body.find("\"queries\": 64"), std::string::npos);
+  EXPECT_NE(body.find("\"build_wall_ms\": 12.5"), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"query_latency_ns\""), std::string::npos);
+  EXPECT_NE(body.find("\"unit\": \"ns\""), std::string::npos);
+  EXPECT_NE(body.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(body.find("\"p50\""), std::string::npos);
+  EXPECT_NE(body.find("\"p90\""), std::string::npos);
+  EXPECT_NE(body.find("\"p99\""), std::string::npos);
+  EXPECT_NE(body.find("\"buckets\""), std::string::npos);
+}
+
+TEST(JsonExporter, DeterministicAcrossInsertionOrder) {
+  // Same metrics added in different orders -> byte-identical files (ordered
+  // maps underneath), which is what makes BENCH_*.json diffable.
+  JsonExporter a("order_a");
+  a.AddCounter("x", 1);
+  a.AddCounter("b", 2);
+  a.SetGauge("z", 1.0);
+  a.SetGauge("a", 2.0);
+  JsonExporter b("order_a");
+  b.SetGauge("a", 2.0);
+  b.AddCounter("b", 2);
+  b.SetGauge("z", 1.0);
+  b.AddCounter("x", 1);
+  const std::string pa = a.WriteTo("BENCH_order_a1.json");
+  const std::string pb = b.WriteTo("BENCH_order_a2.json");
+  ASSERT_FALSE(pa.empty());
+  ASSERT_FALSE(pb.empty());
+  const std::string ca = ReadFile(pa);
+  const std::string cb = ReadFile(pb);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+  EXPECT_EQ(ca, cb);
+}
+
+TEST(JsonExporter, ExportsQueryStatsCounters) {
+  QueryStats stats;
+  stats.nodes_visited = 10;
+  stats.covered_work = 3;
+  stats.crossing_work = 4;
+  stats.budget_exhausted = true;
+  MetricsRegistry registry;
+  AddQueryStatsCounters(stats, "q", &registry);
+  EXPECT_EQ(registry.CounterValue("q.nodes_visited"), 10u);
+  EXPECT_EQ(registry.CounterValue("q.covered_work"), 3u);
+  EXPECT_EQ(registry.CounterValue("q.crossing_work"), 4u);
+  EXPECT_EQ(registry.CounterValue("q.budget_exhausted"), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace kwsc

@@ -9,8 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <span>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 #include "common/random.h"
 #include "core/orp_kw.h"
@@ -65,6 +70,163 @@ TEST(QueryEngine, BatchMatchesPerQueryAnswersAndStats) {
     EXPECT_FALSE(result.stats.budget_exhausted);
     EXPECT_GE(result.wall_micros, 0.0);
   }
+}
+
+std::string StatsKey(const QueryStats& s) {
+  std::ostringstream out;
+  out << s.nodes_visited << "," << s.covered_nodes << "," << s.crossing_nodes
+      << "," << s.pivot_checks << "," << s.list_scanned << "," << s.results
+      << "," << s.tuple_pruned << "," << s.geom_pruned << ","
+      << s.covered_work << "," << s.crossing_work << "," << s.type1_nodes
+      << "," << s.type2_nodes << "," << s.budget_exhausted << ",[";
+  for (uint32_t v : s.type2_per_level) out << v << ";";
+  out << "]";
+  return out.str();
+}
+
+// The determinism contract of the observability layer: on the same batch,
+// the merged work histogram (per-query objects examined) and the merged
+// QueryStats are byte-identical for every thread count, and the latency
+// histogram always carries exactly one sample per query.
+TEST(QueryEngine, MergedHistogramsAndStatsIdenticalAcrossThreadCounts) {
+  Rng rng(8205);
+  CorpusSpec spec;
+  spec.num_objects = 1500;
+  spec.vocab_size = 100;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(1500, PointDistribution::kClustered, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts),
+                          rng.UniformDouble(0.01, 0.3), &rng),
+         PickQueryKeywords(corpus, 2,
+                           i % 2 == 0 ? KeywordPick::kFrequent
+                                      : KeywordPick::kCooccurring,
+                           &rng)});
+  }
+
+  std::string reference_work;
+  std::string reference_stats;
+  for (int threads : {1, 2, 8}) {
+    QueryEngine<OrpKwIndex<2>> engine(&index, threads);
+    const auto result = engine.Run(batch);
+    const std::string work = result.work.DebugString();
+    const std::string stats = StatsKey(result.stats);
+    if (threads == 1) {
+      reference_work = work;
+      reference_stats = stats;
+      EXPECT_GT(result.work.count(), 0u);
+    } else {
+      EXPECT_EQ(work, reference_work) << "threads=" << threads;
+      EXPECT_EQ(stats, reference_stats) << "threads=" << threads;
+    }
+    // Latency is wall-clock (not value-deterministic), but its shape is:
+    // one sample per query, every shard reporting, totals reconciling.
+    EXPECT_EQ(result.latency.count(), batch.size()) << "threads=" << threads;
+    const size_t expected_shards =
+        std::min(static_cast<size_t>(engine.num_threads()), batch.size());
+    ASSERT_EQ(result.shard_wall_micros.size(), expected_shards)
+        << "threads=" << threads;
+    for (double shard_us : result.shard_wall_micros) {
+      EXPECT_GE(shard_us, 0.0);
+    }
+    EXPECT_GE(result.wall_micros, 0.0);
+    EXPECT_EQ(result.budget_exhaustions, 0u);
+    EXPECT_FALSE(result.trace.enabled);  // Tracing is off by default.
+    EXPECT_TRUE(result.trace.queries.empty());
+  }
+}
+
+// Tracing changes how stats are accumulated (per-query snapshots folded in
+// order) but must not change any observable outcome, and the trace itself
+// must decompose the batch exactly.
+TEST(QueryEngine, TracingIsInvisibleToResultsAndStats) {
+  Rng rng(8206);
+  CorpusSpec spec;
+  spec.num_objects = 800;
+  spec.vocab_size = 80;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(800, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < 24; ++i) {
+    batch.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts), 0.2, &rng),
+         PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng)});
+  }
+
+  QueryEngine<OrpKwIndex<2>> plain(&index, 2);
+  const auto expected = plain.Run(batch);
+
+  FrameworkOptions traced_opt = opt;
+  traced_opt.num_threads = 2;
+  traced_opt.enable_tracing = true;
+  QueryEngine<OrpKwIndex<2>> traced(&index, traced_opt);
+  ASSERT_TRUE(traced.tracing_enabled());
+  const auto result = traced.Run(batch);
+
+  ASSERT_EQ(result.rows.size(), expected.rows.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.rows[i], expected.rows[i]) << "query " << i;
+  }
+  EXPECT_EQ(StatsKey(result.stats), StatsKey(expected.stats));
+  EXPECT_EQ(result.work.DebugString(), expected.work.DebugString());
+
+  // The trace has one span per query, in batch order (contiguous shards
+  // merged in shard order), whose stats snapshots sum to the aggregate.
+  ASSERT_TRUE(result.trace.enabled);
+  ASSERT_EQ(result.trace.queries.size(), batch.size());
+  QueryStats summed;
+  for (size_t i = 0; i < result.trace.queries.size(); ++i) {
+    const auto& span = result.trace.queries[i];
+    EXPECT_EQ(span.query_index, i);
+    EXPECT_GE(span.duration_micros, 0.0);
+    MergeQueryStats(span.stats, &summed);
+  }
+  EXPECT_EQ(StatsKey(summed), StatsKey(result.stats));
+  ASSERT_EQ(result.trace.phases.size(), 3u);
+  EXPECT_EQ(result.trace.phases[0].name, "setup");
+  EXPECT_EQ(result.trace.phases[1].name, "execute");
+  EXPECT_EQ(result.trace.phases[2].name, "merge");
+}
+
+// The registry accumulates engine.* metrics across batches.
+TEST(QueryEngine, RegistryAccumulatesAcrossRuns) {
+  Rng rng(8207);
+  CorpusSpec spec;
+  spec.num_objects = 300;
+  spec.vocab_size = 50;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(300, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts), 0.25, &rng),
+         PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng)});
+  }
+
+  obs::MetricsRegistry registry;
+  QueryEngine<OrpKwIndex<2>> engine(&index, opt, &registry);
+  engine.Run(batch);
+  engine.Run(batch);
+  EXPECT_EQ(registry.CounterValue("engine.batches"), 2u);
+  EXPECT_EQ(registry.CounterValue("engine.queries"), 20u);
+  EXPECT_EQ(registry.CounterValue("engine.ops_budget_exhausted"), 0u);
+  EXPECT_EQ(registry.histograms().at("engine.query_latency_ns").count(), 20u);
+  EXPECT_EQ(registry.histograms().at("engine.query_work_objects").count(),
+            20u);
 }
 
 TEST(QueryEngine, EmptyBatch) {

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Validates BENCH_*.json files against the kwsc-bench schema
+# (obs::JsonExporter, schema_version 1; field reference in EXPERIMENTS.md).
+# Usage: tools/check_bench_json.sh BENCH_foo.json [BENCH_bar.json ...]
+# Exits nonzero on the first file that fails validation. Requires python3
+# (stdlib only); warns and skips when python3 is absent, mirroring
+# run_tidy.sh / check_format.sh.
+set -u
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 BENCH_<name>.json [...]" >&2
+  exit 2
+fi
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_bench_json: python3 not found; skipping schema validation" >&2
+  exit 0
+fi
+
+status=0
+for file in "$@"; do
+  if ! python3 - "$file" <<'PYEOF'
+import json
+import sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"{path}: not readable as JSON: {e}")
+
+def fail(msg):
+    sys.exit(f"{path}: {msg}")
+
+# Envelope.
+if doc.get("schema") != "kwsc-bench":
+    fail(f'schema must be "kwsc-bench", got {doc.get("schema")!r}')
+if doc.get("schema_version") != 1:
+    fail(f"schema_version must be 1, got {doc.get('schema_version')!r}")
+if not isinstance(doc.get("name"), str) or not doc["name"]:
+    fail("name must be a non-empty string")
+for key, kind in (("points", list), ("exponents", list),
+                  ("counters", dict), ("gauges", dict),
+                  ("histograms", list)):
+    if not isinstance(doc.get(key), kind):
+        fail(f"{key} must be a {kind.__name__}")
+
+# Points: flat string->number|null rows.
+for i, point in enumerate(doc["points"]):
+    if not isinstance(point, dict):
+        fail(f"points[{i}] must be an object")
+    for k, v in point.items():
+        if v is not None and not isinstance(v, (int, float)):
+            fail(f"points[{i}].{k} must be a number or null")
+
+# Exponents.
+for i, exp in enumerate(doc["exponents"]):
+    for field in ("label", "measured", "expected"):
+        if field not in exp:
+            fail(f"exponents[{i}] missing {field}")
+
+# Counters are non-negative integers.
+for k, v in doc["counters"].items():
+    if not isinstance(v, int) or v < 0:
+        fail(f"counter {k} must be a non-negative integer, got {v!r}")
+
+# Histograms: summary stats + quantiles + consistent buckets.
+for i, h in enumerate(doc["histograms"]):
+    where = f"histograms[{i}]"
+    for field in ("name", "unit", "count", "sum", "min", "max", "mean",
+                  "p50", "p90", "p99", "buckets"):
+        if field not in h:
+            fail(f"{where} missing {field}")
+    if h["count"] < 0:
+        fail(f"{where}.count negative")
+    if sum(b["n"] for b in h["buckets"]) != h["count"]:
+        fail(f"{where}: bucket counts do not sum to count")
+    if h["count"] > 0:
+        if not h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]:
+            fail(f"{where}: quantiles not monotone "
+                 f"(min={h['min']} p50={h['p50']} p90={h['p90']} "
+                 f"p99={h['p99']} max={h['max']})")
+    for j, b in enumerate(h["buckets"]):
+        if not (isinstance(b.get("n"), int) and b["n"] > 0):
+            fail(f"{where}.buckets[{j}]: empty or malformed bucket emitted")
+        if not b["lo"] <= b["hi"]:
+            fail(f"{where}.buckets[{j}]: lo > hi")
+
+print(f"{path}: OK "
+      f"({len(doc['points'])} points, {len(doc['histograms'])} histograms, "
+      f"{len(doc['counters'])} counters)")
+PYEOF
+  then
+    status=1
+  fi
+done
+exit "$status"
