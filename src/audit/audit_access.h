@@ -122,6 +122,31 @@ struct AuditAccess {
   static auto& MutableChildTuples(Dir* dir) {
     return dir->child_tuples_;
   }
+
+  // ---- Detection probes (core/contracts.h) ----
+  //
+  // The accessors above deduce their return type from the function body, so
+  // naming them in a requires-expression for a type *without* the member is
+  // a hard error, not a failed constraint. These probes move the member
+  // access into the declared return type, where substitution failure is in
+  // the immediate context: `requires { AuditAccess::NodesProbe(index); }`
+  // is cleanly false for an unauditable type. Friendship covers the return
+  // type, so the probes see the same private members the accessors do.
+
+  template <typename Index>
+  static auto NodesProbe(const Index& index) -> decltype((index.nodes_)) {
+    return index.nodes_;
+  }
+
+  template <typename Index>
+  static auto OptionsProbe(const Index& index) -> decltype((index.options_)) {
+    return index.options_;
+  }
+
+  template <typename Index>
+  static auto EngineProbe(const Index& index) -> decltype((*index.engine_)) {
+    return *index.engine_;
+  }
 };
 
 }  // namespace audit

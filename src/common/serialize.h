@@ -89,6 +89,12 @@ class InputArchive {
     const uint64_t size = Pod<uint64_t>();
     // Guard against absurd sizes from corrupt input before allocating.
     KWSC_CHECK_MSG(size < (uint64_t{1} << 40), "implausible vector size");
+    // A corrupt (or truncated) archive can declare a length far beyond what
+    // the stream holds; clamp against the actual remaining bytes so the
+    // failure is this check, not a giant allocation followed by a short
+    // read. Division keeps size * sizeof(T) from overflowing first.
+    KWSC_CHECK_MSG(size <= RemainingBytes() / sizeof(T),
+                   "vector length exceeds remaining archive bytes");
     std::vector<T> v(size);
     if (size > 0) {
       in_->read(reinterpret_cast<char*>(v.data()),
@@ -101,6 +107,19 @@ class InputArchive {
   bool ok() const { return in_->good(); }
 
  private:
+  /// Bytes between the read position and end-of-stream, or UINT64_MAX when
+  /// the stream is not seekable (a pipe falls back to the plausibility guard
+  /// plus the post-read truncation check).
+  uint64_t RemainingBytes() {
+    const std::istream::pos_type pos = in_->tellg();
+    if (pos == std::istream::pos_type(-1)) return UINT64_MAX;
+    in_->seekg(0, std::ios::end);
+    const std::istream::pos_type end = in_->tellg();
+    in_->seekg(pos);
+    if (end == std::istream::pos_type(-1) || end < pos) return UINT64_MAX;
+    return static_cast<uint64_t>(end - pos);
+  }
+
   std::istream* in_;
 };
 

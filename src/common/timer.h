@@ -24,9 +24,15 @@ class WallTimer {
         .count();
   }
 
-  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
-  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
-  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

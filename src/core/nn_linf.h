@@ -38,6 +38,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 template <int D, typename Scalar = double>
 class LinfNnIndex {
  public:
@@ -174,6 +178,9 @@ class LinfNnIndex {
   }
 
  private:
+  // The invariant auditor audits the wrapped engine; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   Box<D, Scalar> BallBox(const PointType& q, double r) const {
     Box<D, Scalar> box;
     for (int dim = 0; dim < D; ++dim) {

@@ -24,6 +24,10 @@
 
 namespace kwsc {
 
+namespace audit {
+struct AuditAccess;
+}  // namespace audit
+
 template <int D, typename Scalar = double>
 class SrpKwIndex {
  public:
@@ -62,6 +66,9 @@ class SrpKwIndex {
   size_t MemoryBytes() const { return engine_->MemoryBytes(); }
 
  private:
+  // The invariant auditor audits the lifted engine; see audit/audit_access.h.
+  friend struct audit::AuditAccess;
+
   ConvexQuery<D + 1, double> MakeQuery(const PointType& center,
                                        double radius_sq) const {
     ConvexQuery<D + 1, double> q;

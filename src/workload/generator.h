@@ -160,7 +160,8 @@ Halfspace<D, Scalar> GenerateHalfspaceQuery(
   projections.reserve(points.size());
   for (const auto& p : points) projections.push_back(h.Eval(p));
   const size_t rank = static_cast<size_t>(
-      std::clamp(selectivity, 0.0, 1.0) * (points.size() - 1));
+      std::clamp(selectivity, 0.0, 1.0) *
+      static_cast<double>(points.size() - 1));
   std::nth_element(projections.begin(), projections.begin() + rank,
                    projections.end());
   h.rhs = projections[rank];
@@ -179,7 +180,8 @@ std::pair<Point<D, Scalar>, double> GenerateBallQuery(
     dists.push_back(static_cast<double>(L2DistanceSquared(p, center)));
   }
   const size_t rank = static_cast<size_t>(
-      std::clamp(selectivity, 0.0, 1.0) * (points.size() - 1));
+      std::clamp(selectivity, 0.0, 1.0) *
+      static_cast<double>(points.size() - 1));
   std::nth_element(dists.begin(), dists.begin() + rank, dists.end());
   return {center, dists[rank]};
 }

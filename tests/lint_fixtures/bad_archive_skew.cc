@@ -1,0 +1,70 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Lint fixture: seeded archive-symmetry violations, one per skew class.
+// Scanned as text by lint_test, never compiled.
+
+#include <cstdint>
+#include <vector>
+
+namespace kwsc {
+
+struct OutputArchive;
+struct InputArchive;
+
+// Skew class 1: Load drops a field (op-count mismatch).
+struct DroppedField {
+  std::vector<uint32_t> items;
+  uint64_t weight = 0;
+
+  void Save(OutputArchive* ar) const {
+    ar->Vec(items);
+    ar->Pod(weight);
+  }
+  void Load(InputArchive* ar) {
+    items = ar->Vec<uint32_t>();
+    // seeded violation: forgot to read weight
+  }
+};
+
+// Skew class 2: fields read in the wrong order (op-kind mismatch).
+struct SwappedOrder {
+  std::vector<uint32_t> items;
+  uint64_t weight = 0;
+
+  void Save(OutputArchive* ar) const {
+    ar->Pod(weight);
+    ar->Vec(items);
+  }
+  void Load(InputArchive* ar) {
+    items = ar->Vec<uint32_t>();  // seeded violation: Vec before Pod
+    weight = ar->Pod<uint64_t>();
+  }
+};
+
+// Skew class 3: explicit element types disagree (silent width change).
+struct NarrowedField {
+  std::vector<uint64_t> items;
+
+  void Save(OutputArchive* ar) const { ar->Vec<uint64_t>(items); }
+  void Load(InputArchive* ar) {
+    items_from(ar->Vec<uint32_t>());  // seeded violation: u64 vs u32
+  }
+  void items_from(std::vector<uint32_t> v);
+};
+
+// Control: a symmetric pair is not a violation.
+struct Symmetric {
+  std::vector<uint32_t> items;
+  uint64_t weight = 0;
+
+  void Save(OutputArchive* ar) const {
+    ar->Vec(items);
+    ar->Pod(weight);
+  }
+  void Load(InputArchive* ar) {
+    items = ar->Vec<uint32_t>();
+    weight = ar->Pod<uint64_t>();
+  }
+};
+
+}  // namespace kwsc

@@ -1,0 +1,26 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Lint fixture: seeded determinism-clock violations. Scanned as text by
+// lint_test, never compiled.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace kwsc {
+
+double SeedFromWallClock() {
+  auto now = std::chrono::steady_clock::now();  // seeded violation 1
+  (void)now;
+  std::srand(42);                               // seeded violation 2
+  return static_cast<double>(std::rand());      // seeded violation 3
+}
+
+long StampQuery() {
+  return std::time(nullptr);                    // seeded violation 4
+}
+
+// A banned name inside a string literal is not a violation.
+const char* NotAViolation() { return "steady_clock in a string"; }
+
+}  // namespace kwsc

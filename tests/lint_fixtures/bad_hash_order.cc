@@ -1,0 +1,34 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Lint fixture: seeded hash-order violation. Scanned as text by lint_test,
+// never compiled. The violating site is last in the file so no later sort
+// can fall inside the rule's lookahead window.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace kwsc {
+
+template <typename K, typename V>
+struct FakeMap {
+  template <typename Fn>
+  void ForEach(Fn&& fn) const;
+};
+
+std::vector<uint32_t> DumpSorted(const FakeMap<uint32_t, uint32_t>& map) {
+  std::vector<uint32_t> out;
+  map.ForEach([&](uint32_t key, uint32_t) { out.push_back(key); });
+  std::sort(out.begin(), out.end());  // canonical idiom: not a violation
+  return out;
+}
+
+std::vector<uint32_t> DumpUnsorted(const FakeMap<uint32_t, uint32_t>& map) {
+  std::vector<uint32_t> out;
+  map.ForEach([&](uint32_t key, uint32_t) {  // seeded violation: no sort
+    out.push_back(key);
+  });
+  return out;
+}
+
+}  // namespace kwsc

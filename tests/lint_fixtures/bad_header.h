@@ -1,0 +1,16 @@
+// Lint fixture: seeded copyright, include-guard and using-namespace
+// violations (the missing copyright line is itself seeded violation 1).
+// Scanned as text by lint_test, never compiled.
+
+#ifndef WRONG_GUARD_NAME_H  // seeded violation 2: guard must spell the path
+#define WRONG_GUARD_NAME_H
+
+#include <vector>
+
+using namespace std;  // seeded violation 3: using-namespace in a header
+
+namespace kwsc {
+inline int Answer() { return 42; }
+}  // namespace kwsc
+
+#endif  // WRONG_GUARD_NAME_H

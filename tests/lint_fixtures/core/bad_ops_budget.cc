@@ -1,0 +1,43 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Lint fixture: seeded ops-budget violation (the path contains "core/", so
+// the rule is in scope). Scanned as text by lint_test, never compiled.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kwsc {
+
+using ObjectId = uint32_t;
+struct OpsBudget {
+  void Charge(uint64_t n);
+};
+
+uint64_t CountUncharged(std::span<const ObjectId> candidates,
+                        OpsBudget* budget) {
+  uint64_t hits = 0;
+  for (ObjectId id : candidates) {  // seeded violation: no Charge in body
+    hits += id % 2;
+  }
+  return hits;
+}
+
+uint64_t CountCharged(std::span<const ObjectId> candidates,
+                      OpsBudget* budget) {
+  uint64_t hits = 0;
+  for (ObjectId id : candidates) {  // charged: not a violation
+    budget->Charge(1);
+    hits += id % 2;
+  }
+  return hits;
+}
+
+uint64_t CountWithoutBudget(std::span<const ObjectId> candidates) {
+  uint64_t hits = 0;
+  // No OpsBudget parameter: enumeration here is not on a budgeted path.
+  for (ObjectId id : candidates) hits += id % 2;
+  return hits;
+}
+
+}  // namespace kwsc

@@ -1,0 +1,24 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Lint fixture: control file with no violations, plus one inline-suppressed
+// site proving `kwsc-lint: allow(rule-id)` works. Scanned as text by
+// lint_test, never compiled.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace kwsc {
+
+int64_t DeliberateWallClockRead() {
+  // kwsc-lint: allow(determinism-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+std::vector<uint32_t> PlainLoop(const std::vector<uint32_t>& in) {
+  std::vector<uint32_t> out;
+  for (uint32_t v : in) out.push_back(v);
+  return out;
+}
+
+}  // namespace kwsc

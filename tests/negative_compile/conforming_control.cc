@@ -1,0 +1,20 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Negative-compilation positive control (tests/CMakeLists.txt, "Negative
+// compilation"): this TU MUST compile. It proves the harness's include
+// paths and standard level are right, so a failure of the negative cases
+// means the concept rejected them, not that the harness is broken.
+
+#include "common/serialize.h"
+#include "core/contracts.h"
+
+namespace {
+
+struct Conforming {
+  void Save(kwsc::OutputArchive* out) const;
+  void Load(kwsc::InputArchive* in);
+};
+
+static_assert(kwsc::ArchiveSerializable<Conforming>);
+
+}  // namespace

@@ -1,0 +1,19 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Negative-compilation case (tests/CMakeLists.txt, "Negative compilation"):
+// this TU MUST NOT compile. A component with a Load but no Save half cannot
+// claim ArchiveSerializable — the archive contract is the symmetric pair.
+
+#include "common/serialize.h"
+#include "core/contracts.h"
+
+namespace {
+
+struct MissingSave {
+  // No Save(OutputArchive*) const.
+  void Load(kwsc::InputArchive* in);
+};
+
+static_assert(kwsc::ArchiveSerializable<MissingSave>);
+
+}  // namespace

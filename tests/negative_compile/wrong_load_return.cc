@@ -1,0 +1,20 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Negative-compilation case (tests/CMakeLists.txt, "Negative compilation"):
+// this TU MUST NOT compile. A component whose Load returns a value instead
+// of rebuilding in place (returning void) has the top-level static-factory
+// shape, not the component archive shape; ArchiveSerializable rejects it.
+
+#include "common/serialize.h"
+#include "core/contracts.h"
+
+namespace {
+
+struct WrongLoadReturn {
+  void Save(kwsc::OutputArchive* out) const;
+  WrongLoadReturn Load(kwsc::InputArchive* in);  // must be void
+};
+
+static_assert(kwsc::ArchiveSerializable<WrongLoadReturn>);
+
+}  // namespace

@@ -128,7 +128,7 @@ TEST(HamSandwich, Line2ApproximatelyBisectsBothSides) {
       ++quadrant[(f1 > 0 ? 2 : 0) + (f2 > 0 ? 1 : 0)];
     }
     for (int c = 0; c < 4; ++c) {
-      EXPECT_LE(quadrant[c], static_cast<int>(0.35 * pts.size()))
+      EXPECT_LE(quadrant[c], static_cast<int>(0.35 * static_cast<double>(pts.size())))
           << "trial " << trial << " quadrant " << c;
     }
   }

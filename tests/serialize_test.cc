@@ -56,6 +56,44 @@ TEST(ArchiveDeath, TruncatedInputAborts) {
   EXPECT_DEATH(ar.Pod<uint64_t>(), "truncated");
 }
 
+TEST(ArchiveDeath, VecLengthBeyondStreamAborts) {
+  // A corrupt archive declaring a (plausible-looking) length far beyond the
+  // bytes actually present must die in the remaining-bytes clamp, before
+  // the allocation of size * sizeof(T).
+  std::stringstream stream;
+  {
+    OutputArchive ar(&stream);
+    ar.Pod<uint64_t>(uint64_t{1} << 30);  // claims 2^30 elements...
+    ar.Pod<uint32_t>(7);                  // ...but only 4 bytes follow
+  }
+  InputArchive ar(&stream);
+  EXPECT_DEATH(ar.Vec<uint64_t>(), "exceeds remaining archive bytes");
+}
+
+TEST(ArchiveDeath, VecLengthSlightlyBeyondStreamAborts) {
+  // Off-by-one at the boundary: N elements declared, N-1 present.
+  std::stringstream stream;
+  {
+    OutputArchive ar(&stream);
+    ar.Pod<uint64_t>(4);
+    ar.Pod<uint32_t>(1);
+    ar.Pod<uint32_t>(2);
+    ar.Pod<uint32_t>(3);
+  }
+  InputArchive ar(&stream);
+  EXPECT_DEATH(ar.Vec<uint32_t>(), "exceeds remaining archive bytes");
+}
+
+TEST(Archive, VecLengthExactlyAtStreamEndReads) {
+  std::stringstream stream;
+  {
+    OutputArchive ar(&stream);
+    ar.Vec(std::vector<uint32_t>{1, 2, 3});
+  }
+  InputArchive ar(&stream);
+  EXPECT_EQ(ar.Vec<uint32_t>(), (std::vector<uint32_t>{1, 2, 3}));
+}
+
 TEST(CorpusSerialize, RoundTripPreservesEverything) {
   Rng rng(171);
   CorpusSpec spec;

@@ -1,3 +1,5 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
 #include <gtest/gtest.h>
 
 #include "core/orp_kw.h"

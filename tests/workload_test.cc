@@ -128,7 +128,7 @@ TEST(GenerateBoxQuery, SelectivityRoughlyHonored) {
     auto q = GenerateBoxQuery(std::span<const Point<2>>(pts), 0.1, &rng);
     size_t inside = 0;
     for (const auto& p : pts) inside += q.Contains(p);
-    total_fraction += static_cast<double>(inside) / pts.size();
+    total_fraction += static_cast<double>(inside) / static_cast<double>(pts.size());
   }
   // Boxes centered at data points near the boundary are clipped, so the
   // average lands a little under the target.
@@ -142,7 +142,7 @@ TEST(GenerateHalfspaceQuery, SelectivityExactQuantile) {
     auto h = GenerateHalfspaceQuery(std::span<const Point<2>>(pts), sel, &rng);
     size_t inside = 0;
     for (const auto& p : pts) inside += h.Satisfies(p);
-    EXPECT_NEAR(static_cast<double>(inside) / pts.size(), sel, 0.02);
+    EXPECT_NEAR(static_cast<double>(inside) / static_cast<double>(pts.size()), sel, 0.02);
   }
 }
 
@@ -156,7 +156,7 @@ TEST(GenerateBallQuery, SelectivityExactQuantile) {
     for (const auto& p : pts) {
       inside += L2DistanceSquared(p, center) <= radius_sq;
     }
-    EXPECT_NEAR(static_cast<double>(inside) / pts.size(), sel, 0.02);
+    EXPECT_NEAR(static_cast<double>(inside) / static_cast<double>(pts.size()), sel, 0.02);
   }
 }
 

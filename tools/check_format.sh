@@ -18,8 +18,12 @@ if ! command -v "$FMT" >/dev/null 2>&1; then
   exit 0
 fi
 
+# tests/lint_fixtures/ is excluded: those files are a scan-only corpus for
+# kwsc-lint whose seeded violations depend on exact token/line placement;
+# reformatting them would silently move or mask what they seed.
 mapfile -t FILES < <(find src tests bench examples \
-  \( -name '*.cc' -o -name '*.h' \) | sort)
+  -path 'tests/lint_fixtures' -prune -o \
+  \( -name '*.cc' -o -name '*.h' \) -print | sort)
 
 if [ "${1:-}" = "--fix" ]; then
   "$FMT" -i "${FILES[@]}"

@@ -1,0 +1,69 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// kwsc-lint driver. Usage:
+//   kwsc_lint [--allowlist FILE] [PATH...]
+//
+// Each PATH is a file or directory (directories are scanned recursively for
+// .h/.cc, skipping lint_fixtures/, negative_compile/, build*/ and hidden
+// directories). With no PATH, lints src bench tests relative to the current
+// directory. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string allowlist_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allowlist") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kwsc_lint: --allowlist needs a file argument\n");
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: kwsc_lint [--allowlist FILE] [PATH...]\n"
+                   "lints .h/.cc files for kwsc project rules; default paths "
+                   "are src bench tests\n");
+      return 0;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests"};
+
+  kwsc::lint::Linter linter(
+      allowlist_path.empty()
+          ? std::vector<kwsc::lint::AllowEntry>{}
+          : kwsc::lint::LoadAllowlistFile(allowlist_path));
+  bool io_ok = true;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      if (!linter.LintTree(path)) {
+        std::fprintf(stderr, "kwsc_lint: error scanning %s\n", path.c_str());
+        io_ok = false;
+      }
+    } else if (!linter.LintFile(path)) {
+      std::fprintf(stderr, "kwsc_lint: cannot read %s\n", path.c_str());
+      io_ok = false;
+    }
+  }
+
+  const std::vector<kwsc::lint::Finding> findings = linter.TakeFindings();
+  for (const kwsc::lint::Finding& f : findings) {
+    std::printf("%s\n", f.Format().c_str());
+  }
+  if (!io_ok) return 2;
+  if (!findings.empty()) {
+    std::fprintf(stderr, "kwsc_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,795 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kwsc {
+namespace lint {
+
+std::string Finding::Format() const {
+  std::ostringstream out;
+  out << file << ":" << line << ": " << rule << ": " << message;
+  return out.str();
+}
+
+std::vector<AllowEntry> ParseAllowlist(const std::string& text) {
+  std::vector<AllowEntry> entries;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    AllowEntry entry;
+    if (!(fields >> entry.rule >> entry.path_substring)) continue;
+    // The rest of the line (trimmed) is the optional line-substring, so it
+    // may itself contain spaces.
+    std::string rest;
+    std::getline(fields, rest);
+    const size_t begin = rest.find_first_not_of(" \t");
+    if (begin != std::string::npos) {
+      const size_t end = rest.find_last_not_of(" \t");
+      entry.line_substring = rest.substr(begin, end - begin + 1);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<AllowEntry> LoadAllowlistFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseAllowlist(text.str());
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: comments and preprocessor lines stripped from the token stream
+// (preprocessor directives and allow-comments are collected on the side).
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Scan {
+  std::vector<std::string> lines;  // 0-based; lines[i] is source line i+1.
+  std::vector<Token> tokens;
+  std::vector<std::pair<int, std::string>> preprocessor;  // (line, directive)
+  std::map<int, std::vector<std::string>> allow;  // line -> allowed rule ids
+};
+
+void RecordAllowComment(Scan* scan, int line, std::string_view comment) {
+  static constexpr std::string_view kTag = "kwsc-lint: allow(";
+  size_t pos = comment.find(kTag);
+  while (pos != std::string_view::npos) {
+    const size_t open = pos + kTag.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string_view::npos) break;
+    scan->allow[line].emplace_back(comment.substr(open, close - open));
+    pos = comment.find(kTag, close);
+  }
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Scan Tokenize(const std::string& contents) {
+  Scan scan;
+  {
+    std::istringstream stream(contents);
+    std::string line;
+    while (std::getline(stream, line)) scan.lines.push_back(line);
+  }
+
+  const size_t n = contents.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+  auto advance = [&](size_t count) {
+    for (size_t j = 0; j < count && i < n; ++j, ++i) {
+      if (contents[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = contents[i];
+    if (c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+      const size_t end = contents.find('\n', i);
+      const size_t stop = end == std::string::npos ? n : end;
+      RecordAllowComment(&scan, line,
+                         std::string_view(contents).substr(i, stop - i));
+      advance(stop - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+      const size_t end = contents.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? n : end + 2;
+      RecordAllowComment(&scan, line,
+                         std::string_view(contents).substr(i, stop - i));
+      advance(stop - i);
+      continue;
+    }
+    // Preprocessor directive (with backslash continuations), only when '#'
+    // is the first non-whitespace character on the line.
+    if (c == '#' && at_line_start) {
+      const int directive_line = line;
+      size_t end = i;
+      while (end < n) {
+        const size_t newline = contents.find('\n', end);
+        const size_t stop = newline == std::string::npos ? n : newline;
+        // A trailing backslash continues the directive onto the next line.
+        size_t last = stop;
+        while (last > end &&
+               std::isspace(static_cast<unsigned char>(contents[last - 1])) !=
+                   0 &&
+               contents[last - 1] != '\n') {
+          --last;
+        }
+        if (last > end && contents[last - 1] == '\\' && newline != std::string::npos) {
+          end = newline + 1;
+          continue;
+        }
+        end = stop;
+        break;
+      }
+      scan.preprocessor.emplace_back(directive_line,
+                                     contents.substr(i, end - i));
+      advance(end - i);
+      continue;
+    }
+    at_line_start = false;
+    // String literal.
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < n && contents[j] != '"') {
+        if (contents[j] == '\\') ++j;
+        ++j;
+      }
+      const size_t stop = j < n ? j + 1 : n;
+      scan.tokens.push_back(
+          {Token::kString, contents.substr(i, stop - i), line});
+      advance(stop - i);
+      continue;
+    }
+    // Character literal (the lexer does not need digraph/UDL fidelity).
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && contents[j] != '\'') {
+        if (contents[j] == '\\') ++j;
+        ++j;
+      }
+      const size_t stop = j < n ? j + 1 : n;
+      scan.tokens.push_back({Token::kChar, contents.substr(i, stop - i), line});
+      advance(stop - i);
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentChar(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      size_t j = i;
+      while (j < n && IsIdentChar(contents[j])) ++j;
+      scan.tokens.push_back({Token::kIdent, contents.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    // Number (good enough: digits plus identifier-ish suffixes and dots).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(contents[j]) || contents[j] == '.' ||
+                       ((contents[j] == '+' || contents[j] == '-') && j > i &&
+                        (contents[j - 1] == 'e' || contents[j - 1] == 'E')))) {
+        ++j;
+      }
+      scan.tokens.push_back({Token::kNumber, contents.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    // Punctuation; '::' and '->' matter to the rules, so keep them fused.
+    if (c == ':' && i + 1 < n && contents[i + 1] == ':') {
+      scan.tokens.push_back({Token::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && contents[i + 1] == '>') {
+      scan.tokens.push_back({Token::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    scan.tokens.push_back({Token::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return scan;
+}
+
+/// Index of the token matching the opener at `open` ('(' or '{' or '<'),
+/// or tokens.size() if unbalanced.
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
+  const std::string& open_text = tokens[open].text;
+  const std::string close_text =
+      open_text == "(" ? ")" : open_text == "{" ? "}" : ">";
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == open_text) {
+      ++depth;
+    } else if (tokens[i].text == close_text) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+bool RangeContainsIdent(const std::vector<Token>& tokens, size_t begin,
+                        size_t end, std::string_view ident) {
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (tokens[i].kind == Token::kIdent && tokens[i].text == ident) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Archive-symmetry bookkeeping.
+// ---------------------------------------------------------------------------
+
+struct ArchiveOp {
+  enum Kind { kMagic, kPod, kVec, kSub };
+  Kind kind;
+  std::string detail;  // Magic: tag literal; Pod/Vec: explicit template args
+                       // ("" when deduced); Sub: callee suffix ("" for plain
+                       // nested Save/Load).
+  int line;
+};
+
+const char* OpName(ArchiveOp::Kind kind) {
+  switch (kind) {
+    case ArchiveOp::kMagic:
+      return "Magic";
+    case ArchiveOp::kPod:
+      return "Pod";
+    case ArchiveOp::kVec:
+      return "Vec";
+    case ArchiveOp::kSub:
+      return "nested Save/Load";
+  }
+  return "?";
+}
+
+struct SerializeFn {
+  std::string file;
+  int line = 0;
+  std::vector<ArchiveOp> ops;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linter internals.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LintContext {
+  const std::string* path;       // Rule path (repo-relative).
+  const Scan* scan;
+  // Archive units discovered in this file, keyed by owner.
+  std::map<std::string, std::vector<SerializeFn>>* saves;
+  std::map<std::string, std::vector<SerializeFn>>* loads;
+};
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string trimmed = path;
+  if (StartsWith(trimmed, "src/")) trimmed = trimmed.substr(4);
+  std::string guard = "KWSC_";
+  for (char c : trimmed) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+/// Joins template-argument tokens into a canonical one-space spelling so the
+/// same type spelled across Save and Load compares equal regardless of
+/// whitespace in the source.
+std::string JoinTokens(const std::vector<Token>& tokens, size_t begin,
+                       size_t end) {
+  std::string joined;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (!joined.empty()) joined += ' ';
+    joined += tokens[i].text;
+  }
+  return joined;
+}
+
+}  // namespace
+
+void Linter::Report(const std::string& path, int line, const std::string& rule,
+                    std::string message, const std::string& source_line) {
+  if (Suppressed(path, rule, source_line, /*inline_allowed=*/true)) return;
+  findings_.push_back({path, line, rule, std::move(message)});
+}
+
+bool Linter::Suppressed(const std::string& path, const std::string& rule,
+                        const std::string& source_line,
+                        bool /*inline_allowed*/) const {
+  for (const AllowEntry& entry : allowlist_) {
+    if (entry.rule != rule && entry.rule != "*") continue;
+    if (path.find(entry.path_substring) == std::string::npos) continue;
+    if (!entry.line_substring.empty() &&
+        source_line.find(entry.line_substring) == std::string::npos) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Linter::LintSource(const std::string& path, const std::string& contents) {
+  const Scan scan = Tokenize(contents);
+  const bool is_header = EndsWith(path, ".h");
+  const std::vector<Token>& toks = scan.tokens;
+
+  auto line_text = [&scan](int line) -> std::string {
+    if (line >= 1 && line <= static_cast<int>(scan.lines.size())) {
+      return scan.lines[static_cast<size_t>(line - 1)];
+    }
+    return {};
+  };
+  auto inline_allowed = [&scan](int line, const std::string& rule) {
+    for (int l : {line, line - 1}) {
+      auto it = scan.allow.find(l);
+      if (it == scan.allow.end()) continue;
+      for (const std::string& r : it->second) {
+        if (r == rule || r == "*") return true;
+      }
+    }
+    return false;
+  };
+  auto report = [&](int line, const std::string& rule, std::string message) {
+    if (inline_allowed(line, rule)) return;
+    Report(path, line, rule, std::move(message), line_text(line));
+  };
+
+  // --- copyright -----------------------------------------------------------
+  if (scan.lines.empty() || !StartsWith(scan.lines[0], "// Copyright")) {
+    report(1, "copyright",
+           "file must open with the '// Copyright' header line");
+  }
+
+  // --- include-guard -------------------------------------------------------
+  if (is_header) {
+    const std::string want = ExpectedGuard(path);
+    std::string ifndef_name;
+    std::string define_name;
+    int guard_line = 1;
+    // The first two directives must be the #ifndef/#define pair; anything
+    // else (or #pragma once) is a violation.
+    if (scan.preprocessor.size() >= 2) {
+      std::istringstream first(scan.preprocessor[0].second);
+      std::istringstream second(scan.preprocessor[1].second);
+      std::string hash1;
+      std::string hash2;
+      first >> hash1 >> ifndef_name;
+      second >> hash2 >> define_name;
+      guard_line = scan.preprocessor[0].first;
+      if (hash1 != "#ifndef") ifndef_name.clear();
+      if (hash2 != "#define") define_name.clear();
+    }
+    if (ifndef_name != want || define_name != want) {
+      report(guard_line, "include-guard",
+             "header guard must be '" + want + "' (found '" +
+                 (ifndef_name.empty() ? "<none>" : ifndef_name) + "')");
+    }
+  }
+
+  // --- using-namespace -----------------------------------------------------
+  if (is_header) {
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind == Token::kIdent && toks[i].text == "using" &&
+          toks[i + 1].kind == Token::kIdent &&
+          toks[i + 1].text == "namespace") {
+        report(toks[i].line, "using-namespace",
+               "'using namespace' in a header leaks into every includer");
+      }
+    }
+  }
+
+  // --- determinism-clock ---------------------------------------------------
+  {
+    const bool exempt = StartsWith(path, "src/obs/") ||
+                        path == "src/common/timer.h" ||
+                        StartsWith(path, "src/common/random.") ||
+                        StartsWith(path, "tools/");
+    if (!exempt) {
+      static const std::set<std::string> kBannedAlways = {
+          "steady_clock",     "system_clock", "high_resolution_clock",
+          "gettimeofday",     "clock_gettime", "drand48",
+          "random_device",    "srand",        "rand_r",
+      };
+      static const std::set<std::string> kBannedCalls = {"rand", "time",
+                                                         "clock"};
+      for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::kIdent) continue;
+        const std::string& t = toks[i].text;
+        bool banned = kBannedAlways.count(t) > 0;
+        if (!banned && kBannedCalls.count(t) > 0 && i + 1 < toks.size() &&
+            toks[i + 1].text == "(") {
+          // `std::time(`/bare `time(` are the libc call; `x.time(`/`x->time(`
+          // would be a member of some other type and is not ours to ban.
+          const bool member_access =
+              i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+          const bool std_qualified =
+              i > 1 && toks[i - 1].text == "::" && toks[i - 2].text == "std";
+          banned = !member_access || std_qualified;
+        }
+        if (banned) {
+          report(toks[i].line, "determinism-clock",
+                 "'" + t +
+                     "' makes queries/builds irreproducible; time and "
+                     "randomness belong to src/obs/, common/timer.h, "
+                     "common/random.*");
+        }
+      }
+    }
+  }
+
+  // --- hash-order ----------------------------------------------------------
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent || toks[i].text != "ForEach" ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    const size_t close = MatchingClose(toks, i + 1);
+    if (close >= toks.size()) continue;
+    const bool accumulates =
+        RangeContainsIdent(toks, i + 2, close, "push_back") ||
+        RangeContainsIdent(toks, i + 2, close, "emplace_back");
+    if (!accumulates) continue;
+    // A sort of the accumulated vector must follow promptly (the canonical
+    // "dump the table, then canonicalize" idiom); 60 tokens is roughly the
+    // following two statements.
+    const bool sorted_after =
+        RangeContainsIdent(toks, close, close + 60, "sort") ||
+        RangeContainsIdent(toks, close, close + 60, "Sort");
+    if (!sorted_after) {
+      report(toks[i].line, "hash-order",
+             "ForEach over a hash table accumulates into a vector without a "
+             "following sort; hash order is seeded per process");
+    }
+  }
+
+  // --- function-structure pass: archive-symmetry + ops-budget --------------
+  // One walk detects function definitions. For Save/Load definitions it
+  // extracts the ordered archive-op sequence; for every definition it scans
+  // range-for loops over ObjectId and demands OpsBudget::Charge when the
+  // function takes an OpsBudget*.
+  std::map<std::string, std::vector<SerializeFn>> saves;
+  std::map<std::string, std::vector<SerializeFn>> loads;
+
+  // Class context: (name, token index of the opening brace's matching
+  // close), innermost last.
+  std::vector<std::pair<std::string, size_t>> class_stack;
+  std::string pending_class;
+
+  const bool budget_scope = path.find("core/") != std::string::npos;
+
+  auto extract_ops = [&](size_t body_begin, size_t body_end) {
+    std::vector<ArchiveOp> ops;
+    for (size_t j = body_begin; j < body_end; ++j) {
+      if (toks[j].kind != Token::kIdent) continue;
+      const std::string& name = toks[j].text;
+      if (j + 1 >= body_end) break;
+      if (name == "Magic" && toks[j + 1].text == "(") {
+        std::string tag;
+        if (j + 2 < body_end && toks[j + 2].kind == Token::kString) {
+          tag = toks[j + 2].text;
+        }
+        ops.push_back({ArchiveOp::kMagic, tag, toks[j].line});
+      } else if (name == "Pod" || name == "Vec") {
+        const ArchiveOp::Kind kind =
+            name == "Pod" ? ArchiveOp::kPod : ArchiveOp::kVec;
+        if (toks[j + 1].text == "<") {
+          const size_t targs_close = MatchingClose(toks, j + 1);
+          if (targs_close < body_end && targs_close + 1 < toks.size() &&
+              toks[targs_close + 1].text == "(") {
+            ops.push_back({kind, JoinTokens(toks, j + 2, targs_close),
+                           toks[j].line});
+          }
+        } else if (toks[j + 1].text == "(") {
+          ops.push_back({kind, "", toks[j].line});
+        }
+      } else if ((StartsWith(name, "Save") || StartsWith(name, "Load")) &&
+                 toks[j + 1].text == "(") {
+        ops.push_back({ArchiveOp::kSub, name.substr(4), toks[j].line});
+      }
+    }
+    return ops;
+  };
+
+  // Recursive lambda over token ranges; `has_budget` is inherited by loops
+  // in nested lambdas (they run on the enclosing query path).
+  auto scan_range = [&](auto&& self, size_t begin, size_t end,
+                        bool has_budget) -> void {
+    for (size_t i = begin; i < end; ++i) {
+      const Token& tok = toks[i];
+      // Track class context for member Save/Load attribution.
+      // `enum class`, `template <class T>` and `<..., class U>` are not
+      // class-scope introductions.
+      if (tok.kind == Token::kIdent &&
+          (tok.text == "class" || tok.text == "struct") &&
+          (i == 0 || (toks[i - 1].text != "enum" && toks[i - 1].text != "<" &&
+                      toks[i - 1].text != ",")) &&
+          i + 1 < end && toks[i + 1].kind == Token::kIdent) {
+        pending_class = toks[i + 1].text;
+        continue;
+      }
+      if (tok.text == ";") {
+        pending_class.clear();
+        continue;
+      }
+      if (tok.text == "{") {
+        if (!pending_class.empty()) {
+          const size_t close = MatchingClose(toks, i);
+          class_stack.emplace_back(pending_class, close);
+          pending_class.clear();
+        }
+        continue;
+      }
+      while (!class_stack.empty() && i >= class_stack.back().second) {
+        class_stack.pop_back();
+      }
+
+      // Range-for over ObjectId on a budgeted query path must Charge.
+      if (tok.kind == Token::kIdent && tok.text == "for" && i + 1 < end &&
+          toks[i + 1].text == "(") {
+        const size_t parens_close = MatchingClose(toks, i + 1);
+        if (parens_close >= end) continue;
+        bool range_for = false;
+        int depth = 0;
+        for (size_t j = i + 2; j < parens_close; ++j) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")") --depth;
+          if (depth == 0 && toks[j].text == ":") {
+            range_for = true;
+            break;
+          }
+        }
+        const bool over_objects =
+            range_for && RangeContainsIdent(toks, i + 2, parens_close,
+                                            "ObjectId");
+        if (over_objects && has_budget && budget_scope &&
+            parens_close + 1 < end && toks[parens_close + 1].text == "{") {
+          const size_t body_close = MatchingClose(toks, parens_close + 1);
+          if (!RangeContainsIdent(toks, parens_close + 1, body_close,
+                                  "Charge")) {
+            report(tok.line, "ops-budget",
+                   "candidate-enumeration loop on a budgeted query path "
+                   "does not call OpsBudget::Charge (footnote 4 manual "
+                   "termination)");
+          }
+          // The loop body is still scanned below for nested functions.
+        }
+        continue;
+      }
+
+      // Function definition: ident '(' params ')' [const|noexcept|requires]
+      // '{'. Control-flow keywords and macro-looking all-caps names are not
+      // functions.
+      if (tok.kind != Token::kIdent || i + 1 >= end ||
+          toks[i + 1].text != "(") {
+        continue;
+      }
+      static const std::set<std::string> kNotFunctions = {
+          "if",     "for",    "while",   "switch", "return",
+          "sizeof", "static_assert",     "decltype", "alignof",
+          "catch",  "requires"};
+      if (kNotFunctions.count(tok.text) > 0) continue;
+      const size_t params_close = MatchingClose(toks, i + 1);
+      if (params_close >= end) continue;
+      size_t j = params_close + 1;
+      bool is_definition = false;
+      while (j < end) {
+        const std::string& t = toks[j].text;
+        if (t == "const" || t == "noexcept" || t == "override" ||
+            t == "final" || t == "mutable") {
+          ++j;
+          continue;
+        }
+        if (t == "requires") {
+          // Skip the trailing requires-clause: `requires ( ... )` or a bare
+          // concept expression up to the '{'.
+          ++j;
+          if (j < end && toks[j].text == "(") j = MatchingClose(toks, j) + 1;
+          continue;
+        }
+        is_definition = t == "{";
+        break;
+      }
+      if (!is_definition || j >= end) continue;
+      const size_t body_open = j;
+      const size_t body_close = MatchingClose(toks, body_open);
+      if (body_close > end) continue;
+
+      const bool fn_has_budget =
+          RangeContainsIdent(toks, i + 2, params_close, "OpsBudget");
+
+      // Archive unit detection.
+      const std::string& fname = tok.text;
+      const bool save_like =
+          StartsWith(fname, "Save") &&
+          (RangeContainsIdent(toks, i + 2, params_close, "OutputArchive") ||
+           RangeContainsIdent(toks, i + 2, params_close, "ostream"));
+      const bool load_like =
+          StartsWith(fname, "Load") &&
+          (RangeContainsIdent(toks, i + 2, params_close, "InputArchive") ||
+           RangeContainsIdent(toks, i + 2, params_close, "istream"));
+      if (save_like || load_like) {
+        std::string owner;
+        if (i >= 2 && toks[i - 1].text == "::" &&
+            toks[i - 2].kind == Token::kIdent) {
+          owner = toks[i - 2].text;  // Out-of-line member: Class::Save.
+        } else if (!class_stack.empty()) {
+          owner = class_stack.back().first;
+        } else {
+          owner = fname.substr(4);  // Free SaveFoo/LoadFoo pair.
+        }
+        if (!owner.empty()) {
+          SerializeFn fn;
+          fn.file = path;
+          fn.line = tok.line;
+          fn.ops = extract_ops(body_open + 1, body_close);
+          (save_like ? saves : loads)[owner].push_back(std::move(fn));
+        }
+      }
+
+      self(self, body_open + 1, body_close, fn_has_budget);
+      i = body_close;
+    }
+  };
+  scan_range(scan_range, 0, toks.size(), /*has_budget=*/false);
+
+  // --- archive-symmetry pairing (per file: the codebase keeps a pair's two
+  // bodies in one translation-unit's source file) ---------------------------
+  for (const auto& [owner, save_fns] : saves) {
+    auto it = loads.find(owner);
+    if (it == loads.end() || save_fns.size() != 1 || it->second.size() != 1) {
+      continue;  // Unpaired or overloaded: nothing comparable.
+    }
+    const SerializeFn& save = save_fns[0];
+    const SerializeFn& load = it->second[0];
+    const size_t count = std::min(save.ops.size(), load.ops.size());
+    std::string mismatch;
+    int at_line = load.line;
+    for (size_t k = 0; k < count && mismatch.empty(); ++k) {
+      const ArchiveOp& s = save.ops[k];
+      const ArchiveOp& l = load.ops[k];
+      if (s.kind != l.kind) {
+        mismatch = "op " + std::to_string(k + 1) + " is " + OpName(s.kind) +
+                   " in Save but " + OpName(l.kind) + " in Load";
+        at_line = l.line;
+      } else if (!s.detail.empty() && !l.detail.empty() &&
+                 s.detail != l.detail) {
+        mismatch = "op " + std::to_string(k + 1) + " (" + OpName(s.kind) +
+                   ") spells '" + s.detail + "' in Save but '" + l.detail +
+                   "' in Load";
+        at_line = l.line;
+      }
+    }
+    if (mismatch.empty() && save.ops.size() != load.ops.size()) {
+      mismatch = "Save issues " + std::to_string(save.ops.size()) +
+                 " archive ops but Load issues " +
+                 std::to_string(load.ops.size());
+      at_line = load.line;
+    }
+    if (!mismatch.empty()) {
+      report(at_line, "archive-symmetry",
+             owner + ": " + mismatch +
+                 "; Save and Load must stream the same ordered field "
+                 "sequence");
+    }
+  }
+}
+
+bool Linter::LintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  std::string rule_path = path;
+  if (!root_.empty() && StartsWith(rule_path, root_)) {
+    rule_path = rule_path.substr(root_.size());
+    while (!rule_path.empty() && rule_path.front() == '/') {
+      rule_path = rule_path.substr(1);
+    }
+  }
+  while (StartsWith(rule_path, "./")) rule_path = rule_path.substr(2);
+  LintSource(rule_path, contents.str());
+  return true;
+}
+
+bool Linter::LintTree(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> files;
+  fs::recursive_directory_iterator it(dir, ec);
+  if (ec) return false;
+  for (auto end = fs::recursive_directory_iterator(); it != end;
+       it.increment(ec)) {
+    if (ec) return false;
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory()) {
+      // Seeded-violation corpora and build trees are not the real tree.
+      if (name == "lint_fixtures" || name == "negative_compile" ||
+          StartsWith(name, "build") || StartsWith(name, ".")) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (EndsWith(name, ".h") || EndsWith(name, ".cc")) {
+      files.push_back(p.generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  bool ok = true;
+  for (const std::string& file : files) ok = LintFile(file) && ok;
+  return ok;
+}
+
+std::vector<Finding> Linter::TakeFindings() {
+  std::sort(findings_.begin(), findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return std::move(findings_);
+}
+
+}  // namespace lint
+}  // namespace kwsc

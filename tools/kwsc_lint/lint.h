@@ -1,0 +1,113 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// kwsc-lint: the project-specific static analyzer.
+//
+// A token-level source scanner enforcing the repo rules clang-tidy cannot
+// express — the rules are about *kwsc's* contracts (deterministic queries,
+// symmetric archives, budgeted candidate enumeration), not general C++
+// hygiene. The scanner deliberately stays lexical: no LLVM dependency, no
+// compile database, millisecond runs, and the rules are written against the
+// codebase's uniform idiom (which PR 2's format/tidy gates keep uniform).
+//
+// Rules (ids as emitted in findings, `file:line: rule-id: message`):
+//   determinism-clock  — no std::rand/srand/time()/clock()/steady_clock/...
+//       outside src/obs/, src/common/timer.h, src/common/random.*. Queries
+//       and builds must be reproducible; wall-clock reads belong to the
+//       observability layer (DESIGN.md, substitution 3).
+//   hash-order         — a FlatHashMap/FlatHashSet::ForEach whose lambda
+//       accumulates into a vector (push_back/emplace_back) must be followed
+//       by a sort: hash iteration order is seeded per-process, so unsorted
+//       dumps leak nondeterminism into archives and results.
+//   archive-symmetry   — for every Save/Load pair (member pair, or free
+//       Save*/Load* pair), the two bodies must issue the same ordered
+//       sequence of Magic/Pod/Vec/nested-serialize calls, with matching
+//       explicit template arguments and magic tags where both sides spell
+//       them. Catches field skew that byte-identity tests only find on
+//       exercised paths.
+//   ops-budget         — in core/ files, a range-for over ObjectId inside a
+//       function taking an OpsBudget* must call Charge in its body (the
+//       footnote-4 manual-termination device); audited exceptions go into
+//       the allowlist file.
+//   include-guard      — header guards must spell the file path
+//       (src/core/orp_kw.h -> KWSC_CORE_ORP_KW_H_).
+//   using-namespace    — no `using namespace` in headers.
+//   copyright          — every source file opens with the copyright line.
+//
+// Suppression, most-specific first: an inline `kwsc-lint: allow(rule-id)`
+// comment on the finding's line or the line above; an allowlist entry
+// (`rule-id  path-substring  [line-substring]`); the hardcoded path
+// exemptions baked into individual rules.
+
+#ifndef KWSC_TOOLS_KWSC_LINT_LINT_H_
+#define KWSC_TOOLS_KWSC_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace kwsc {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     // e.g. "archive-symmetry"
+  std::string message;  // human-readable detail
+
+  std::string Format() const;
+};
+
+/// One allowlist entry: suppress `rule` findings in files whose path
+/// contains `path_substring` and (when non-empty) whose flagged source line
+/// contains `line_substring`.
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+  std::string line_substring;
+};
+
+/// Parses allowlist text: one entry per line, whitespace-separated fields
+/// `rule path-substring [line-substring]`; '#' starts a comment.
+std::vector<AllowEntry> ParseAllowlist(const std::string& text);
+
+/// Reads the allowlist file; returns empty on a missing file.
+std::vector<AllowEntry> LoadAllowlistFile(const std::string& path);
+
+class Linter {
+ public:
+  explicit Linter(std::vector<AllowEntry> allowlist)
+      : allowlist_(std::move(allowlist)) {}
+
+  /// Sets the repo root; absolute paths handed to LintFile/LintTree are
+  /// reported (and rule-matched) relative to it.
+  void SetRoot(std::string root) { root_ = std::move(root); }
+
+  /// Lints one file's contents. `path` is the repo-relative path (rules key
+  /// off it: scope checks, guard derivation, exemptions).
+  void LintSource(const std::string& path, const std::string& contents);
+
+  /// Reads and lints one file from disk. Returns false if unreadable.
+  bool LintFile(const std::string& path);
+
+  /// Recursively lints every .h/.cc under `dir`, skipping lint_fixtures/
+  /// (seeded-violation corpora) and hidden/build directories.
+  /// Paths are reported relative to the current working directory.
+  bool LintTree(const std::string& dir);
+
+  /// Findings surviving suppression, sorted by (file, line, rule).
+  std::vector<Finding> TakeFindings();
+
+ private:
+  void Report(const std::string& path, int line, const std::string& rule,
+              std::string message, const std::string& source_line);
+  bool Suppressed(const std::string& path, const std::string& rule,
+                  const std::string& source_line, bool inline_allowed) const;
+
+  std::vector<AllowEntry> allowlist_;
+  std::vector<Finding> findings_;
+  std::string root_;
+};
+
+}  // namespace lint
+}  // namespace kwsc
+
+#endif  // KWSC_TOOLS_KWSC_LINT_LINT_H_

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# kwsc-lint gate: the project-specific static analyzer over the real tree.
+#
+# Usage: tools/run_lint.sh [build-dir]
+#
+# Unlike run_tidy.sh, this gate never degrades to a no-op: kwsc_lint is built
+# from this repo with the same toolchain as everything else, so it is always
+# available. The script builds the kwsc_lint target if the build directory is
+# configured, then scans src/ bench/ tests/ under tools/lint_allowlist.txt.
+# Any finding fails the run.
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tools/kwsc_lint/kwsc_lint"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "run_lint.sh: no build directory '$BUILD_DIR'; configure first:" >&2
+  echo "run_lint.sh:   cmake -B $BUILD_DIR -S ." >&2
+  exit 1
+fi
+
+if ! cmake --build "$BUILD_DIR" --target kwsc_lint -j >/dev/null; then
+  echo "run_lint.sh: FAILED — could not build the kwsc_lint target." >&2
+  exit 1
+fi
+
+if "$BIN" --allowlist tools/lint_allowlist.txt src bench tests; then
+  echo "run_lint.sh: OK"
+else
+  echo "run_lint.sh: FAILED — kwsc-lint findings above (fix the code, add an" >&2
+  echo "run_lint.sh: inline 'kwsc-lint: allow(rule-id)' with a justification," >&2
+  echo "run_lint.sh: or extend tools/lint_allowlist.txt for audited cases)." >&2
+  exit 1
+fi
