@@ -57,15 +57,20 @@ void Sweep(const char* name, double index_id, bench::JsonReport* report,
     spec.vocab_size = std::max<uint32_t>(64, n_objects / 16);
     Corpus corpus = GenerateCorpus(spec, &rng);
     const double n = static_cast<double>(corpus.total_weight());
+    // RSS sampled before AND after the build: the point-in-time delta is
+    // what this index costs, not the process high-water mark.
+    const bench::RssDeltaProbe rss;
     WallTimer timer;
     const size_t bytes = build(corpus, &rng);
     const double ms = timer.ElapsedMillis();
+    const double rss_delta = static_cast<double>(rss.DeltaBytes());
     std::printf("%10.0f %14.2f %14.1f\n", n, ms, bytes / n);
     bench::PrintCsv("B",
                     {{"index", index_id},
                      {"N", n},
                      {"build_ms", ms},
-                     {"bytes_per_N", bytes / n}},
+                     {"bytes_per_N", bytes / n},
+                     {"rss_delta_bytes", rss_delta}},
                     report);
     ns.push_back(n);
     times.push_back(ms);

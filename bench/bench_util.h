@@ -111,11 +111,36 @@ inline void PrintExponent(const std::string& label, double measured,
   PrintExponent(label, measured, expected);
 }
 
+/// Resident-set growth attributable to one phase: CurrentRssBytes sampled at
+/// construction (immediately before the phase) and again in DeltaBytes()
+/// (immediately after). The peak-RSS gauge alone charges every phase with
+/// the process high-water mark — corpus generation, earlier sweeps, the
+/// allocator's retained pages — so per-phase memory claims must come from a
+/// before/after pair, not from the peak.
+class RssDeltaProbe {
+ public:
+  RssDeltaProbe() : before_(CurrentRssBytes()) {}
+
+  size_t before_bytes() const { return before_; }
+
+  /// RSS growth since construction (0 if the platform offers no probe or
+  /// the allocator returned pages in between).
+  size_t DeltaBytes() const {
+    const size_t after = CurrentRssBytes();
+    return after > before_ ? after - before_ : 0;
+  }
+
+ private:
+  size_t before_;
+};
+
 /// The one EmitJson path every bench ends with: stamps process-wide gauges
-/// (peak RSS), writes BENCH_<name>.json, and announces the path on stdout.
-/// Returns the path written ("" on failure).
+/// (peak and current RSS), writes BENCH_<name>.json, and announces the path
+/// on stdout. Returns the path written ("" on failure).
 inline std::string EmitJson(JsonReport* report) {
   report->SetGauge("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
+  report->SetGauge("current_rss_bytes",
+                   static_cast<double>(CurrentRssBytes()));
   const std::string path = report->Write();
   if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
   return path;

@@ -37,6 +37,8 @@ const char* AuditCheckName(AuditCheck check) {
       return "rank-space";
     case AuditCheck::kSerialization:
       return "serialization";
+    case AuditCheck::kFlatLayout:
+      return "flat-layout";
   }
   return "unknown";
 }

@@ -64,6 +64,10 @@ enum class AuditCheck : uint8_t {
   /// Save -> Load -> Save byte-identity (determinism contract of the
   /// serialization layer; see DESIGN.md, "Threading model").
   kSerialization,
+  /// v2 flat-container well-formedness: header magic/tag, slab offsets
+  /// 64-byte aligned and in bounds, secondary-structure sortedness and id
+  /// ranges (DESIGN.md, "On-disk layout v2").
+  kFlatLayout,
 };
 
 /// Short stable name for a check class ("tree-structure", "fanout", ...).

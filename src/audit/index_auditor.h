@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <functional>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <string>
@@ -40,6 +41,7 @@
 
 #include "audit/audit.h"
 #include "audit/audit_access.h"
+#include "common/flat_arena.h"
 #include "common/flat_hash.h"
 #include "core/balanced_cut.h"
 #include "core/dim_reduction.h"
@@ -166,10 +168,11 @@ inline std::vector<KeywordId> CheckNodeDirectory(
 
   // Materialized lists: exactly the keywords that are inherited, occur below
   // u, and fall short of the threshold; each list is the non-pivot carriers.
-  const auto& stored_lists = AuditAccess::Materialized(dir);
+  // All reads go through the mode-agnostic directory API so a flat-loaded
+  // index audits exactly like the pointer-built original.
   if (options.enable_materialized_lists) {
     FlatHashMap<KeywordId, std::vector<ObjectId>> expected;
-    const std::vector<ObjectId>& pivots = dir.pivots();
+    const std::span<const ObjectId> pivots = dir.pivots();
     for (ObjectId e : active) {
       if (std::find(pivots.begin(), pivots.end(), e) != pivots.end()) {
         continue;
@@ -181,20 +184,21 @@ inline std::vector<KeywordId> CheckNodeDirectory(
         }
       }
     }
-    if (stored_lists.size() != expected.size()) {
+    if (dir.num_materialized() != expected.size()) {
       report->Add(AuditCheck::kDirectoryMaterialized, node,
                   "%zu materialized lists, recount expects %zu",
-                  stored_lists.size(), expected.size());
+                  dir.num_materialized(), expected.size());
     }
     expected.ForEach([&](KeywordId w, const std::vector<ObjectId>& list) {
-      const std::vector<ObjectId>* got = dir.MaterializedList(w);
-      if (got == nullptr) {
+      const std::optional<std::span<const ObjectId>> got =
+          dir.MaterializedList(w);
+      if (!got.has_value()) {
         report->Add(AuditCheck::kDirectoryMaterialized, node,
                     "missing materialized list for keyword %u", w);
         return;
       }
       std::vector<ObjectId> want(list);
-      std::vector<ObjectId> have(*got);
+      std::vector<ObjectId> have(got->begin(), got->end());
       std::sort(want.begin(), want.end());
       std::sort(have.begin(), have.end());
       if (want != have) {
@@ -204,24 +208,23 @@ inline std::vector<KeywordId> CheckNodeDirectory(
                     w, have.size(), want.size());
       }
     });
-    stored_lists.ForEach(
-        [&](KeywordId w, const std::vector<ObjectId>& /*list*/) {
+    dir.ForEachMaterializedSorted(
+        [&](KeywordId w, std::span<const ObjectId> /*list*/) {
           if (expected.Find(w) == nullptr) {
             report->Add(AuditCheck::kDirectoryMaterialized, node,
                         "unexpected materialized list for keyword %u", w);
           }
         });
-  } else if (stored_lists.size() != 0) {
+  } else if (dir.num_materialized() != 0) {
     report->Add(AuditCheck::kDirectoryMaterialized, node,
                 "materialized lists present although disabled by options");
   }
 
   // Per-child tuple registries: a k-tuple of large keywords is registered
   // for child c iff some object in c's active set carries all k keywords.
-  const auto& child_tuples = AuditAccess::ChildTuples(dir);
-  if (child_tuples.size() != child_active.size()) {
+  if (dir.num_children() != child_active.size()) {
     report->Add(AuditCheck::kDirectoryTuples, node,
-                "%zu child registries for %zu children", child_tuples.size(),
+                "%zu child registries for %zu children", dir.num_children(),
                 child_active.size());
   } else if (options.enable_tuple_pruning) {
     std::vector<uint32_t> doc_lids;
@@ -241,14 +244,14 @@ inline std::vector<KeywordId> CheckNodeDirectory(
                                  NodeDirectory::EncodeTuple(t));
                            });
       }
-      if (child_tuples[c].size() != expected_tuples.size()) {
+      if (dir.NumChildTupleKeys(c) != expected_tuples.size()) {
         report->Add(AuditCheck::kDirectoryTuples, node,
                     "child %zu registry holds %zu tuples, recount finds %zu",
-                    c, child_tuples[c].size(), expected_tuples.size());
+                    c, dir.NumChildTupleKeys(c), expected_tuples.size());
       }
       bool missing = false;
       expected_tuples.ForEach([&](uint64_t key) {
-        if (!child_tuples[c].Contains(key)) missing = true;
+        if (!dir.ChildTupleContainsKey(c, key)) missing = true;
       });
       if (missing) {
         report->Add(AuditCheck::kDirectoryTuples, node,
@@ -256,8 +259,8 @@ inline std::vector<KeywordId> CheckNodeDirectory(
       }
     }
   } else {
-    for (size_t c = 0; c < child_tuples.size(); ++c) {
-      if (!child_tuples[c].empty()) {
+    for (size_t c = 0; c < dir.num_children(); ++c) {
+      if (dir.NumChildTupleKeys(c) != 0) {
         report->Add(AuditCheck::kDirectoryTuples, node,
                     "child %zu registry non-empty although tuple pruning is "
                     "disabled",
@@ -394,7 +397,7 @@ class FrameworkTreeAuditor {
                    static_cast<int>(node.level), expected_level);
     }
 
-    const std::vector<ObjectId>& pivots = node.dir.pivots();
+    const std::span<const ObjectId> pivots = node.dir.pivots();
     for (ObjectId e : pivots) {
       if (static_cast<size_t>(e) >= seen_.size()) {
         report_->Add(AuditCheck::kTreeStructure, idx,
@@ -410,8 +413,8 @@ class FrameworkTreeAuditor {
                      "pivot %u lies outside its node's cell", e);
       }
     }
-    AuditAccess::Materialized(node.dir)
-        .ForEach([this](KeywordId, const std::vector<ObjectId>& list) {
+    node.dir.ForEachMaterializedSorted(
+        [this](KeywordId, std::span<const ObjectId> list) {
           materialized_total_ += list.size();
         });
 
@@ -430,7 +433,7 @@ class FrameworkTreeAuditor {
         report_->Add(AuditCheck::kDirectoryTuples, idx,
                      "leaf carries child tuple registries");
       }
-      if (AuditAccess::Materialized(node.dir).size() != 0) {
+      if (node.dir.num_materialized() != 0) {
         report_->Add(AuditCheck::kDirectoryMaterialized, idx,
                      "leaf carries materialized lists");
       }
@@ -1044,6 +1047,26 @@ AuditReport AuditIndex(const RrKwIndex<D, Scalar>& index,
   AuditReport report;
   report.Merge(AuditIndex(AuditAccess::Engine(index), options),
                "lifted engine: ");
+  return report;
+}
+
+/// Audit of a v2 flat container on disk (or in memory via
+/// MmapFile::FromBytes) *before* it is loaded: header magic and family tag,
+/// slab offsets aligned and in bounds, secondary-structure sortedness,
+/// canonical keyword order, id ranges — the deep half of the family's
+/// ValidateFlat, with every finding reported as AuditCheck::kFlatLayout
+/// instead of aborting the process. `Index` is the family class
+/// (e.g. OrpKwIndex<2>); the container's offset defaults to 0.
+template <typename Index>
+AuditReport AuditFlatFile(const MmapFile& file, uint64_t offset = 0,
+                          uint32_t expected_tag = Index::kFlatFamilyTag) {
+  AuditReport report;
+  const FlatErrorSink sink = [&report](const std::string& message) {
+    report.Add(AuditCheck::kFlatLayout, -1, "%s", message.c_str());
+  };
+  Index::ValidateFlat(file, offset, expected_tag, sink);
+  ++report.nodes_checked;  // The container itself; a zero here means "file
+                           // never opened", not "clean".
   return report;
 }
 

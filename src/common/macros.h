@@ -48,9 +48,14 @@
 #if defined(__GNUC__) || defined(__clang__)
 #define KWSC_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
 #define KWSC_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+/// Read-prefetch with high temporal locality; used on tree descent to pull
+/// the child node's cache line while the current node's directory is being
+/// probed. A no-op hint: never changes semantics.
+#define KWSC_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
 #else
 #define KWSC_PREDICT_TRUE(x) (x)
 #define KWSC_PREDICT_FALSE(x) (x)
+#define KWSC_PREFETCH(addr) ((void)0)
 #endif
 
 #endif  // KWSC_COMMON_MACROS_H_

@@ -26,23 +26,43 @@ std::string FormatBytes(size_t bytes) {
   return buf;
 }
 
-size_t PeakRssBytes() {
+namespace {
+
 #if defined(__linux__)
+/// Reads one "<field>: <kib> kB" line from /proc/self/status.
+size_t ProcStatusBytes(const char* field) {
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return 0;
-  size_t peak_kib = 0;
+  const size_t field_len = std::strlen(field);
+  size_t kib_value = 0;
   char line[256];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+    if (std::strncmp(line, field, field_len) == 0) {
       unsigned long long kib = 0;
-      if (std::sscanf(line + 6, "%llu", &kib) == 1) {
-        peak_kib = static_cast<size_t>(kib);
+      if (std::sscanf(line + field_len, "%llu", &kib) == 1) {
+        kib_value = static_cast<size_t>(kib);
       }
       break;
     }
   }
   std::fclose(f);
-  return peak_kib * 1024;
+  return kib_value * 1024;
+}
+#endif
+
+}  // namespace
+
+size_t PeakRssBytes() {
+#if defined(__linux__)
+  return ProcStatusBytes("VmHWM:");
+#else
+  return 0;
+#endif
+}
+
+size_t CurrentRssBytes() {
+#if defined(__linux__)
+  return ProcStatusBytes("VmRSS:");
 #else
   return 0;
 #endif

@@ -39,6 +39,12 @@ std::string FormatBytes(size_t bytes);
 /// high-water mark alongside build wall time.
 size_t PeakRssBytes();
 
+/// Current resident set size in bytes (Linux: VmRSS from /proc/self/status).
+/// Returns 0 where the platform offers no cheap probe. Sampled before and
+/// after an index load so BENCH_load.json reports a per-load RSS delta
+/// rather than a cumulative high-water mark.
+size_t CurrentRssBytes();
+
 }  // namespace kwsc
 
 #endif  // KWSC_COMMON_MEMORY_H_

@@ -13,8 +13,11 @@
 #define KWSC_COMMON_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <span>
+#include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
@@ -23,39 +26,86 @@
 
 namespace kwsc {
 
+/// Buffered binary writer. Per-value ostream::write calls for Pod dominate
+/// save time on directory-heavy indexes (one virtual-dispatching write per
+/// scalar), so values coalesce into an internal buffer flushed when it
+/// fills, in ok(), in Flush(), and in the destructor. The byte stream is
+/// identical to the unbuffered writer's (serialize_test asserts this).
+///
+/// Interleaving hazard: anything that writes to the same raw stream while an
+/// OutputArchive is live (e.g. a nested `engine_->Save(out)` that builds its
+/// own archive) must be preceded by Flush(), or the buffered bytes land
+/// after the nested ones.
 class OutputArchive {
  public:
   explicit OutputArchive(std::ostream* out) : out_(out) {
     KWSC_CHECK(out != nullptr);
+    buffer_.reserve(kFlushThreshold);
   }
+
+  ~OutputArchive() { Flush(); }
+
+  OutputArchive(const OutputArchive&) = delete;
+  OutputArchive& operator=(const OutputArchive&) = delete;
 
   /// Writes a 4-byte magic tag plus a version number.
   void Magic(std::string_view tag, uint32_t version) {
     KWSC_CHECK(tag.size() == 4);
-    out_->write(tag.data(), 4);
+    Append(tag.data(), 4);
     Pod(version);
   }
 
   template <typename T>
   void Pod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_->write(reinterpret_cast<const char*>(&value), sizeof(T));
+    Append(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void Vec(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Pod<uint64_t>(v.size());
+    if (!v.empty()) {
+      Append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+    }
   }
 
   template <typename T>
   void Vec(const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    Pod<uint64_t>(v.size());
-    if (!v.empty()) {
-      out_->write(reinterpret_cast<const char*>(v.data()),
-                  static_cast<std::streamsize>(v.size() * sizeof(T)));
+    Vec(std::span<const T>(v));
+  }
+
+  /// Drains the coalescing buffer to the stream. Required before any write
+  /// to the underlying stream that bypasses this archive.
+  void Flush() {
+    if (!buffer_.empty()) {
+      out_->write(buffer_.data(),
+                  static_cast<std::streamsize>(buffer_.size()));
+      buffer_.clear();
     }
   }
 
-  bool ok() const { return out_->good(); }
+  bool ok() {
+    Flush();
+    return out_->good();
+  }
 
  private:
+  // Large enough that bulk Vec payloads rarely split, small enough to stay
+  // cache-resident while Pod-heavy directory saves fill it.
+  static constexpr size_t kFlushThreshold = size_t{1} << 16;
+
+  void Append(const char* data, size_t size) {
+    if (buffer_.size() + size > kFlushThreshold) Flush();
+    if (size > kFlushThreshold) {
+      out_->write(data, static_cast<std::streamsize>(size));
+      return;
+    }
+    buffer_.append(data, size);
+  }
+
   std::ostream* out_;
+  std::string buffer_;
 };
 
 class InputArchive {

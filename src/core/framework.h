@@ -106,7 +106,7 @@ inline void SaveFrameworkOptions(OutputArchive* ar,
   PersistedFrameworkOptions persisted;
   // Zero first so padding bytes are deterministic — Save streams are
   // compared byte-for-byte by the determinism tests and fingerprints.
-  std::memset(&persisted, 0, sizeof(persisted));
+  std::memset(static_cast<void*>(&persisted), 0, sizeof(persisted));
   persisted.k = options.k;
   persisted.alpha = options.alpha;
   persisted.leaf_objects = options.leaf_objects;

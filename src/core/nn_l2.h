@@ -16,9 +16,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "common/macros.h"
 #include "core/framework.h"
 #include "core/srp_kw.h"
@@ -31,13 +35,14 @@ template <int D>
 class L2NnIndex {
  public:
   using PointType = IntPoint<D>;
+  using Engine = SrpKwIndex<D, int64_t>;
 
   /// Coordinates must fit in 31 bits so squared distances stay exact in
   /// int64 (and in the double arithmetic of the lifted engine).
   L2NnIndex(std::span<const PointType> points, const Corpus* corpus,
             FrameworkOptions options)
-      : points_(points.begin(), points.end()),
-        engine_(std::span<const PointType>(points_), corpus, options) {
+      : engine_(points, corpus, options) {
+    points_.Assign(std::vector<PointType>(points.begin(), points.end()));
     for (const PointType& p : points_) {
       for (int dim = 0; dim < D; ++dim) {
         KWSC_CHECK_MSG(p[dim] >= -kMaxCoord && p[dim] <= kMaxCoord,
@@ -87,11 +92,101 @@ class L2NnIndex {
   }
 
   size_t MemoryBytes() const {
-    return engine_.MemoryBytes() + VectorBytes(points_);
+    return engine_.MemoryBytes() + points_.MemoryBytes();
+  }
+
+  // ---- v2 flat layout: a small own container (original integer points plus
+  // the cached coordinate bound the radius search needs) followed by the
+  // lifted SRP-KW engine's container. ----
+
+  static constexpr uint32_t kFlatFamilyTag = FlatFamilyTag('K', 'W', 'L', '2');
+
+  struct FlatRoot {
+    uint32_t dim;
+    uint32_t reserved;
+    uint64_t num_points;
+    int64_t max_abs_coord;
+    SlabRef points;  // IntPoint<D>
+  };
+
+  void SaveFlat(std::ostream* out, uint32_t family_tag = kFlatFamilyTag) const {
+    FlatArenaWriter writer(family_tag);
+    FlatRoot root;
+    std::memset(static_cast<void*>(&root), 0, sizeof(root));  // padding must be deterministic
+    root.dim = static_cast<uint32_t>(D);
+    root.num_points = points_.size();
+    root.max_abs_coord = max_abs_coord_;
+    root.points = writer.Slab(points_.view());
+    writer.Root(root);
+    writer.WriteTo(out);
+    engine_.SaveFlat(out);
+  }
+
+  static L2NnIndex LoadFlat(std::shared_ptr<const MmapFile> file,
+                            const Corpus* corpus, uint64_t offset = 0,
+                            uint32_t expected_tag = kFlatFamilyTag) {
+    KWSC_CHECK(file != nullptr);
+    const FlatArenaReader reader(*file, offset, expected_tag);
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    KWSC_CHECK_MSG(root.dim == static_cast<uint32_t>(D),
+                   "index dimensionality mismatch");
+    L2NnIndex index(
+        Engine::LoadFlat(file, corpus, offset + reader.total_bytes()));
+    KWSC_CHECK(reader.SlabOk<PointType>(root.points) &&
+               root.points.count == root.num_points);
+    index.points_.Attach(reader.Slab<PointType>(root.points));
+    index.max_abs_coord_ = root.max_abs_coord;
+    index.mmap_ = std::move(file);
+    return index;
+  }
+
+  static bool ValidateFlat(const MmapFile& file, uint64_t offset,
+                           uint32_t expected_tag, const FlatErrorSink& sink) {
+    if (!FlatArenaReader::Validate(file, offset, expected_tag, sink)) {
+      return false;
+    }
+    const FlatArenaReader reader(file, offset, expected_tag);
+    if (!reader.RootOk<FlatRoot>()) {
+      sink("flat root size mismatch for family");
+      return false;
+    }
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    if (root.dim != static_cast<uint32_t>(D)) {
+      sink("flat root dimensionality mismatch");
+      return false;
+    }
+    bool ok = true;
+    if (!reader.SlabOk<PointType>(root.points) ||
+        root.points.count != root.num_points) {
+      sink("flat point slab out of bounds or cardinality mismatch");
+      ok = false;
+    } else {
+      // Deep check: the cached coordinate bound must be the recomputed
+      // maximum, or the radius binary search can under-shoot.
+      int64_t recomputed = 0;
+      for (const PointType& p : reader.Slab<PointType>(root.points)) {
+        for (int dim = 0; dim < D; ++dim) {
+          recomputed = std::max(recomputed, std::abs(p[dim]));
+        }
+      }
+      if (root.num_points != 0 && recomputed != root.max_abs_coord) {
+        sink("flat coordinate bound disagrees with the stored points");
+        ok = false;
+      }
+    }
+    if (!Engine::ValidateFlat(file, offset + reader.total_bytes(),
+                              Engine::kFlatFamilyTag, sink)) {
+      ok = false;
+    }
+    return ok;
   }
 
  private:
   static constexpr int64_t kMaxCoord = (int64_t{1} << 31) - 1;
+
+  // Shell constructor used by LoadFlat (the engine loads first because the
+  // by-value member needs a live object before the points attach).
+  explicit L2NnIndex(Engine&& engine) : engine_(std::move(engine)) {}
 
   std::vector<ObjectId> FinishQuery(const PointType& q, int64_t radius_sq,
                                     uint64_t t,
@@ -109,9 +204,11 @@ class L2NnIndex {
     return matches;
   }
 
-  std::vector<PointType> points_;
+  // Owned after a build; a zero-copy view into mmap_ after LoadFlat.
+  OwnedSpan<PointType> points_;
   int64_t max_abs_coord_ = 0;
-  SrpKwIndex<D, int64_t> engine_;
+  Engine engine_;
+  std::shared_ptr<const MmapFile> mmap_;
 };
 
 }  // namespace kwsc

@@ -22,12 +22,16 @@
 #define KWSC_CORE_NN_LINF_H_
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <span>
 #include <type_traits>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "common/macros.h"
 #include "core/dim_reduction.h"
 #include "core/framework.h"
@@ -50,13 +54,15 @@ class LinfNnIndex {
                                     DimRedOrpKwIndex<D, Scalar>>;
 
   LinfNnIndex(std::span<const PointType> points, const Corpus* corpus,
-              FrameworkOptions options)
-      : points_(points.begin(), points.end()) {
-    engine_.emplace(std::span<const PointType>(points_), corpus, options);
+              FrameworkOptions options) {
+    points_.Assign(std::vector<PointType>(points.begin(), points.end()));
+    engine_.emplace(points_.view(), corpus, options);
     for (int dim = 0; dim < D; ++dim) {
-      sorted_coords_[dim].reserve(points_.size());
-      for (const PointType& p : points_) sorted_coords_[dim].push_back(p[dim]);
-      std::sort(sorted_coords_[dim].begin(), sorted_coords_[dim].end());
+      std::vector<Scalar> coords;
+      coords.reserve(points_.size());
+      for (const PointType& p : points_) coords.push_back(p[dim]);
+      std::sort(coords.begin(), coords.end());
+      sorted_coords_[dim].Assign(std::move(coords));
     }
   }
 
@@ -98,8 +104,10 @@ class LinfNnIndex {
   }
 
   size_t MemoryBytes() const {
-    size_t total = engine_->MemoryBytes() + VectorBytes(points_);
-    for (int dim = 0; dim < D; ++dim) total += VectorBytes(sorted_coords_[dim]);
+    size_t total = engine_->MemoryBytes() + points_.MemoryBytes();
+    for (int dim = 0; dim < D; ++dim) {
+      total += sorted_coords_[dim].MemoryBytes();
+    }
     return total;
   }
 
@@ -112,8 +120,11 @@ class LinfNnIndex {
     OutputArchive ar(out);
     ar.Magic("KWN1", /*version=*/1);
     ar.Pod<uint32_t>(static_cast<uint32_t>(D));
-    ar.Vec(points_);
-    for (int dim = 0; dim < D; ++dim) ar.Vec(sorted_coords_[dim]);
+    ar.Vec(points_.view());
+    for (int dim = 0; dim < D; ++dim) ar.Vec(sorted_coords_[dim].view());
+    // The engine writes to the raw stream next; the buffered archive must
+    // hand its bytes over first or the two interleave out of order.
+    ar.Flush();
     engine_->Save(out);
   }
 
@@ -126,12 +137,117 @@ class LinfNnIndex {
     KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
                    "index dimensionality mismatch");
     LinfNnIndex index{PrivateTag{}};
-    index.points_ = ar.Vec<PointType>();
+    index.points_.Assign(ar.Vec<PointType>());
     for (int dim = 0; dim < D; ++dim) {
-      index.sorted_coords_[dim] = ar.Vec<Scalar>();
+      index.sorted_coords_[dim].Assign(ar.Vec<Scalar>());
     }
     index.engine_.emplace(Engine::Load(in, corpus));
     return index;
+  }
+
+  // ---- v2 flat layout: this wrapper's own container (points plus the
+  // per-dimension candidate-radius arrays) followed immediately by the
+  // wrapped ORP-KW engine's container. Both are padded to the alignment
+  // quantum, so the engine's offset stays 64-byte aligned. ----
+
+  static constexpr uint32_t kFlatFamilyTag = FlatFamilyTag('K', 'W', 'N', '2');
+
+  struct FlatRoot {
+    uint32_t dim;
+    uint32_t reserved;
+    uint64_t num_points;
+    SlabRef points;             // Point<D, Scalar>
+    SlabRef sorted_coords[D];   // Scalar, ascending per dimension
+  };
+
+  void SaveFlat(std::ostream* out, uint32_t family_tag = kFlatFamilyTag) const
+    requires(D <= 2)
+  {
+    FlatArenaWriter writer(family_tag);
+    FlatRoot root;
+    std::memset(static_cast<void*>(&root), 0, sizeof(root));  // padding must be deterministic
+    root.dim = static_cast<uint32_t>(D);
+    root.num_points = points_.size();
+    root.points = writer.Slab(points_.view());
+    for (int dim = 0; dim < D; ++dim) {
+      root.sorted_coords[dim] = writer.Slab(sorted_coords_[dim].view());
+    }
+    writer.Root(root);
+    writer.WriteTo(out);
+    engine_->SaveFlat(out);
+  }
+
+  static LinfNnIndex LoadFlat(std::shared_ptr<const MmapFile> file,
+                              const Corpus* corpus, uint64_t offset = 0,
+                              uint32_t expected_tag = kFlatFamilyTag)
+    requires(D <= 2)
+  {
+    KWSC_CHECK(file != nullptr);
+    const FlatArenaReader reader(*file, offset, expected_tag);
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    KWSC_CHECK_MSG(root.dim == static_cast<uint32_t>(D),
+                   "index dimensionality mismatch");
+    LinfNnIndex index{PrivateTag{}};
+    KWSC_CHECK(reader.SlabOk<PointType>(root.points) &&
+               root.points.count == root.num_points);
+    index.points_.Attach(reader.Slab<PointType>(root.points));
+    for (int dim = 0; dim < D; ++dim) {
+      KWSC_CHECK(reader.SlabOk<Scalar>(root.sorted_coords[dim]) &&
+                 root.sorted_coords[dim].count == root.num_points);
+      index.sorted_coords_[dim].Attach(
+          reader.Slab<Scalar>(root.sorted_coords[dim]));
+    }
+    index.engine_.emplace(
+        Engine::LoadFlat(file, corpus, offset + reader.total_bytes()));
+    index.mmap_ = std::move(file);
+    return index;
+  }
+
+  static bool ValidateFlat(const MmapFile& file, uint64_t offset,
+                           uint32_t expected_tag, const FlatErrorSink& sink)
+    requires(D <= 2)
+  {
+    if (!FlatArenaReader::Validate(file, offset, expected_tag, sink)) {
+      return false;
+    }
+    const FlatArenaReader reader(file, offset, expected_tag);
+    if (!reader.RootOk<FlatRoot>()) {
+      sink("flat root size mismatch for family");
+      return false;
+    }
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    if (root.dim != static_cast<uint32_t>(D)) {
+      sink("flat root dimensionality mismatch");
+      return false;
+    }
+    bool ok = true;
+    if (!reader.SlabOk<PointType>(root.points) ||
+        root.points.count != root.num_points) {
+      sink("flat point slab out of bounds or cardinality mismatch");
+      ok = false;
+    }
+    for (int dim = 0; dim < D; ++dim) {
+      if (!reader.SlabOk<Scalar>(root.sorted_coords[dim]) ||
+          root.sorted_coords[dim].count != root.num_points) {
+        sink("flat sorted-coordinate slab out of bounds or cardinality "
+             "mismatch");
+        ok = false;
+        continue;
+      }
+      const auto coords = reader.Slab<Scalar>(root.sorted_coords[dim]);
+      for (size_t i = 1; i < coords.size(); ++i) {
+        if (coords[i - 1] > coords[i]) {
+          sink("flat candidate-radius array not sorted");
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!Engine::ValidateFlat(file, offset + reader.total_bytes(),
+                              Engine::kFlatFamilyTag, sink)) {
+      ok = false;
+    }
+    return ok;
   }
 
   /// The i-th smallest candidate radius (1-based rank), i.e. the i-th
@@ -228,9 +344,12 @@ class LinfNnIndex {
   struct PrivateTag {};
   explicit LinfNnIndex(PrivateTag) {}
 
-  std::vector<PointType> points_;
-  std::array<std::vector<Scalar>, D> sorted_coords_;
+  // Owned after a build or v1 load; zero-copy views into mmap_ after
+  // LoadFlat.
+  OwnedSpan<PointType> points_;
+  std::array<OwnedSpan<Scalar>, D> sorted_coords_;
   std::optional<Engine> engine_;
+  std::shared_ptr<const MmapFile> mmap_;
 };
 
 }  // namespace kwsc

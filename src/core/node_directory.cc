@@ -32,6 +32,17 @@ void ForEachCombination(std::span<const uint32_t> sorted_lids, int k, Fn&& fn) {
   }
 }
 
+/// The large table's flat image is keyword-sorted, so the lid lookup is a
+/// binary search instead of a hash probe.
+const FlatLargeEntry* FindLargeEntry(std::span<const FlatLargeEntry> large,
+                                     KeywordId w) {
+  const auto it = std::lower_bound(
+      large.begin(), large.end(), w,
+      [](const FlatLargeEntry& e, KeywordId key) { return e.keyword < key; });
+  if (it == large.end() || it->keyword != w) return nullptr;
+  return &*it;
+}
+
 }  // namespace
 
 uint64_t NodeDirectory::EncodeTuple(std::span<const uint32_t> lids) {
@@ -46,9 +57,30 @@ uint64_t NodeDirectory::EncodeTuple(std::span<const uint32_t> lids) {
   return key;
 }
 
+int64_t NodeDirectory::LargeId(KeywordId w) const {
+  if (flat_mode_) {
+    const FlatLargeEntry* entry = FindLargeEntry(flat_.large, w);
+    return entry == nullptr ? -1 : static_cast<int64_t>(entry->lid);
+  }
+  const uint32_t* id = large_.Find(w);
+  return id == nullptr ? -1 : static_cast<int64_t>(*id);
+}
+
 bool NodeDirectory::ResolveLarge(std::span<const KeywordId> sorted_keywords,
                                  uint32_t* lids,
                                  KeywordId* small_keyword) const {
+  if (flat_mode_) {
+    for (size_t i = 0; i < sorted_keywords.size(); ++i) {
+      const FlatLargeEntry* entry =
+          FindLargeEntry(flat_.large, sorted_keywords[i]);
+      if (entry == nullptr) {
+        *small_keyword = sorted_keywords[i];
+        return false;
+      }
+      lids[i] = entry->lid;
+    }
+    return true;
+  }
   for (size_t i = 0; i < sorted_keywords.size(); ++i) {
     const uint32_t* id = large_.Find(sorted_keywords[i]);
     if (id == nullptr) {
@@ -60,7 +92,80 @@ bool NodeDirectory::ResolveLarge(std::span<const KeywordId> sorted_keywords,
   return true;
 }
 
+bool NodeDirectory::ChildTupleContainsKey(size_t c, uint64_t key) const {
+  if (flat_mode_) {
+    const std::span<const uint64_t> keys = flat_.child_tuples[c];
+    return std::binary_search(keys.begin(), keys.end(), key);
+  }
+  return child_tuples_[c].Contains(key);
+}
+
+std::optional<std::span<const ObjectId>> NodeDirectory::MaterializedList(
+    KeywordId w) const {
+  if (flat_mode_) {
+    const auto it = std::lower_bound(
+        flat_.materialized.begin(), flat_.materialized.end(), w,
+        [](const FlatMatEntry& e, KeywordId key) { return e.keyword < key; });
+    if (it == flat_.materialized.end() || it->keyword != w) return std::nullopt;
+    return flat_.mat_pool.subspan(it->begin, it->count);
+  }
+  const std::vector<ObjectId>* list = materialized_.Find(w);
+  if (list == nullptr) return std::nullopt;
+  return std::span<const ObjectId>(*list);
+}
+
+std::vector<FlatLargeEntry> NodeDirectory::LargeEntriesSorted() const {
+  if (flat_mode_) {
+    return std::vector<FlatLargeEntry>(flat_.large.begin(), flat_.large.end());
+  }
+  std::vector<FlatLargeEntry> entries;
+  entries.reserve(large_.size());
+  large_.ForEach(
+      [&](KeywordId w, uint32_t lid) { entries.push_back({w, lid}); });
+  // Deterministic archives: canonicalize the hash-table dump order.
+  std::sort(entries.begin(), entries.end(),
+            [](const FlatLargeEntry& a, const FlatLargeEntry& b) {
+              return a.keyword < b.keyword;
+            });
+  return entries;
+}
+
+std::vector<uint64_t> NodeDirectory::ChildTupleKeysSorted(size_t c) const {
+  if (flat_mode_) {
+    const std::span<const uint64_t> span = flat_.child_tuples[c];
+    return std::vector<uint64_t>(span.begin(), span.end());
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(child_tuples_[c].size());
+  child_tuples_[c].ForEach([&keys](uint64_t key) { keys.push_back(key); });
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<KeywordId> NodeDirectory::OwnedMaterializedKeywordsSorted() const {
+  std::vector<KeywordId> keywords;
+  keywords.reserve(materialized_.size());
+  materialized_.ForEach(
+      [&keywords](KeywordId w, const std::vector<ObjectId>&) {
+        keywords.push_back(w);
+      });
+  std::sort(keywords.begin(), keywords.end());
+  return keywords;
+}
+
+void NodeDirectory::AttachFlat(const FlatDirView& view) {
+  KWSC_CHECK(view.num_children <= FlatDirView::kMaxChildren);
+  pivots_ = std::vector<ObjectId>();
+  large_ = FlatHashMap<KeywordId, uint32_t>();
+  child_tuples_ = std::vector<FlatHashSet<uint64_t>>();
+  materialized_ = FlatHashMap<KeywordId, std::vector<ObjectId>>();
+  weight_ = 0;
+  flat_mode_ = true;
+  flat_ = view;
+}
+
 size_t NodeDirectory::MemoryBytes() const {
+  if (flat_mode_) return 0;  // contents live in the mapping, not the heap
   size_t total = VectorBytes(pivots_) + large_.MemoryBytes();
   total += child_tuples_.capacity() * sizeof(FlatHashSet<uint64_t>);
   for (const auto& set : child_tuples_) total += set.MemoryBytes();
@@ -72,57 +177,34 @@ size_t NodeDirectory::MemoryBytes() const {
   return total;
 }
 
-namespace {
-// Archive record for one large-keyword table entry (std::pair is not
-// trivially copyable, so a plain struct is used instead).
-struct LargeEntry {
-  KeywordId keyword;
-  uint32_t lid;
-};
-}  // namespace
-
 void NodeDirectory::Save(OutputArchive* ar) const {
-  ar->Vec(pivots_);
-  ar->Pod(weight_);
+  // All containers go through the canonical sorted getters, so owned and
+  // flat directories emit byte-identical archives.
+  ar->Vec(pivots());
+  ar->Pod(weight());
 
-  std::vector<LargeEntry> large_entries;
-  large_entries.reserve(large_.size());
-  large_.ForEach([&](KeywordId w, uint32_t lid) {
-    large_entries.push_back({w, lid});
-  });
-  // Deterministic archives: canonicalize the hash-table dump order.
-  std::sort(large_entries.begin(), large_entries.end(),
-            [](const LargeEntry& a, const LargeEntry& b) {
-              return a.keyword < b.keyword;
-            });
-  ar->Vec(large_entries);
+  ar->Vec(LargeEntriesSorted());
 
-  ar->Pod<uint32_t>(static_cast<uint32_t>(child_tuples_.size()));
-  for (const auto& set : child_tuples_) {
-    std::vector<uint64_t> keys;
-    keys.reserve(set.size());
-    set.ForEach([&keys](uint64_t key) { keys.push_back(key); });
-    std::sort(keys.begin(), keys.end());
-    ar->Vec(keys);
+  ar->Pod<uint32_t>(static_cast<uint32_t>(num_children()));
+  for (size_t c = 0; c < num_children(); ++c) {
+    ar->Vec(ChildTupleKeysSorted(c));
   }
 
-  ar->Pod<uint32_t>(static_cast<uint32_t>(materialized_.size()));
-  std::vector<KeywordId> keywords;
-  materialized_.ForEach([&keywords](KeywordId w, const std::vector<ObjectId>&) {
-    keywords.push_back(w);
-  });
-  std::sort(keywords.begin(), keywords.end());
-  for (KeywordId w : keywords) {
+  ar->Pod<uint32_t>(static_cast<uint32_t>(num_materialized()));
+  ForEachMaterializedSorted([ar](KeywordId w, std::span<const ObjectId> list) {
     ar->Pod(w);
-    ar->Vec(*materialized_.Find(w));
-  }
+    ar->Vec(list);
+  });
 }
 
 void NodeDirectory::Load(InputArchive* ar) {
+  flat_mode_ = false;
+  flat_ = FlatDirView();
+
   pivots_ = ar->Vec<ObjectId>();
   weight_ = ar->Pod<uint64_t>();
 
-  const auto large_entries = ar->Vec<LargeEntry>();
+  const auto large_entries = ar->Vec<FlatLargeEntry>();
   large_ = FlatHashMap<KeywordId, uint32_t>();
   large_.Reserve(large_entries.size());
   for (const auto& entry : large_entries) large_[entry.keyword] = entry.lid;

@@ -28,16 +28,20 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "common/macros.h"
 #include "common/memory.h"
 #include "common/ops_budget.h"
 #include "common/serialize.h"
 #include "common/thread_pool.h"
+#include "core/flat_format.h"
 #include "core/framework.h"
 #include "core/node_directory.h"
 #include "geom/box.h"
@@ -75,10 +79,11 @@ class OrpKwIndex {
                    corpus->num_objects());
     KWSC_CHECK_MSG(options_.k >= 2 && options_.k <= 8,
                    "k must be in [2, 8], got %d", options_.k);
-    rank_points_.resize(points.size());
+    std::vector<Point<D, int64_t>> rank_points(points.size());
     for (uint32_t e = 0; e < points.size(); ++e) {
-      rank_points_[e] = rank_.ToRank(e);
+      rank_points[e] = rank_.ToRank(e);
     }
+    rank_points_.Assign(std::move(rank_points));
     if (points.empty()) return;
     std::unique_ptr<ThreadPool> owned_pool;
     if (pool == nullptr) {
@@ -187,7 +192,7 @@ class OrpKwIndex {
   }
 
   size_t MemoryBytes() const {
-    size_t total = rank_.MemoryBytes() + VectorBytes(rank_points_) +
+    size_t total = rank_.MemoryBytes() + rank_points_.MemoryBytes() +
                    nodes_.capacity() * sizeof(Node);
     for (const Node& node : nodes_) total += node.dir.MemoryBytes();
     return total;
@@ -211,7 +216,7 @@ class OrpKwIndex {
     ar.Pod<uint64_t>(corpus_->num_objects());
     ar.Pod<uint64_t>(corpus_->total_weight());
     rank_.Save(&ar);
-    ar.Vec(rank_points_);
+    ar.Vec(rank_points_.view());
     ar.Pod<uint64_t>(nodes_.size());
     for (const Node& node : nodes_) {
       ar.Pod(node.cell);
@@ -238,7 +243,7 @@ class OrpKwIndex {
     KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->total_weight(),
                    "corpus weight mismatch");
     index.rank_.Load(&ar);
-    index.rank_points_ = ar.Vec<Point<D, int64_t>>();
+    index.rank_points_.Assign(ar.Vec<Point<D, int64_t>>());
     const uint64_t num_nodes = ar.Pod<uint64_t>();
     index.nodes_.resize(num_nodes);
     for (Node& node : index.nodes_) {
@@ -249,6 +254,155 @@ class OrpKwIndex {
       node.dir.Load(&ar);
     }
     return index;
+  }
+
+  // ---- v2 flat layout (common/flat_arena.h; DESIGN.md "On-disk layout
+  // v2"). SaveFlat writes one offset-addressed container; LoadFlat is an
+  // mmap plus header/structure validation — the bulk payload (rank tables,
+  // rank points, directory pools) stays mapped and only the O(num_nodes)
+  // arena is rebuilt, each directory attached as a zero-copy view. ----
+
+  static constexpr uint32_t kFlatFamilyTag = FlatFamilyTag('K', 'W', 'O', '2');
+
+  /// The flat root POD. Wrapper families reuse the container verbatim under
+  /// their own family tag, so the tag is a parameter below.
+  struct FlatRoot {
+    uint32_t dim;
+    uint32_t reserved;
+    PersistedFrameworkOptions options;
+    uint64_t num_objects;
+    uint64_t total_weight;
+    typename RankSpace<D, Scalar>::FlatImage rank;
+    SlabRef rank_points;  // Point<D, int64_t>
+    SlabRef nodes;        // FlatNodeRec<RankBox>
+    FlatDirPools dir_pools;
+  };
+
+  void SaveFlat(std::ostream* out, uint32_t family_tag = kFlatFamilyTag) const {
+    FlatArenaWriter writer(family_tag);
+    FlatRoot root;
+    std::memset(static_cast<void*>(&root), 0, sizeof(root));  // padding must be deterministic
+    root.dim = static_cast<uint32_t>(D);
+    root.options.k = options_.k;
+    root.options.alpha = options_.alpha;
+    root.options.leaf_objects = options_.leaf_objects;
+    root.options.enable_tuple_pruning = options_.enable_tuple_pruning;
+    root.options.enable_materialized_lists = options_.enable_materialized_lists;
+    root.options.exact_cell_tests = options_.exact_cell_tests;
+    root.num_objects = corpus_->num_objects();
+    root.total_weight = corpus_->total_weight();
+    root.rank = rank_.SaveFlatSlabs(&writer);
+    root.rank_points = writer.Slab(rank_points_.view());
+
+    FlatDirPoolWriter pools;
+    std::vector<FlatNodeRec<RankBox>> recs(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      FlatNodeRec<RankBox>& rec = recs[i];
+      std::memset(static_cast<void*>(&rec), 0, sizeof(rec));
+      rec.cell = nodes_[i].cell;
+      rec.child[0] = nodes_[i].child[0];
+      rec.child[1] = nodes_[i].child[1];
+      rec.level = nodes_[i].level;
+      pools.Append(nodes_[i].dir, &rec);
+    }
+    root.nodes = writer.Slab<FlatNodeRec<RankBox>>(recs);
+    root.dir_pools = pools.WriteSlabs(&writer);
+    writer.Root(root);
+    writer.WriteTo(out);
+  }
+
+  /// Opens a flat container over mapped bytes. The returned index keeps
+  /// `file` alive; `offset` addresses nested containers inside wrapper
+  /// formats. Any structural problem aborts (same policy as v1 Load).
+  static OrpKwIndex LoadFlat(std::shared_ptr<const MmapFile> file,
+                             const Corpus* corpus, uint64_t offset = 0,
+                             uint32_t expected_tag = kFlatFamilyTag) {
+    KWSC_CHECK(corpus != nullptr);
+    KWSC_CHECK(file != nullptr);
+    const FlatErrorSink sink = AbortingFlatErrorSink();
+    const FlatArenaReader reader(*file, offset, expected_tag);
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    KWSC_CHECK_MSG(root.dim == static_cast<uint32_t>(D),
+                   "index dimensionality mismatch");
+    KWSC_CHECK_MSG(root.num_objects == corpus->num_objects(),
+                   "corpus object count mismatch");
+    KWSC_CHECK_MSG(root.total_weight == corpus->total_weight(),
+                   "corpus weight mismatch");
+
+    OrpKwIndex index(corpus);
+    index.options_.k = root.options.k;
+    index.options_.alpha = root.options.alpha;
+    index.options_.leaf_objects = root.options.leaf_objects;
+    index.options_.enable_tuple_pruning = root.options.enable_tuple_pruning;
+    index.options_.enable_materialized_lists =
+        root.options.enable_materialized_lists;
+    index.options_.exact_cell_tests = root.options.exact_cell_tests;
+    KWSC_CHECK(index.rank_.AttachFlat(reader, root.rank, root.num_objects,
+                                      sink));
+    using RankPointT = Point<D, int64_t>;
+    KWSC_CHECK(reader.SlabOk<RankPointT>(root.rank_points) &&
+               root.rank_points.count == root.num_objects);
+    index.rank_points_.Attach(reader.Slab<Point<D, int64_t>>(root.rank_points));
+
+    FlatDirPoolReader pools;
+    KWSC_CHECK(pools.Init(reader, root.dir_pools, sink));
+    const auto recs = reader.Slab<FlatNodeRec<RankBox>>(root.nodes);
+    KWSC_CHECK(ValidateFlatTreeShallow(recs, pools, sink));
+    index.nodes_.resize(recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+      Node& node = index.nodes_[i];
+      node.cell = recs[i].cell;
+      node.child[0] = recs[i].child[0];
+      node.child[1] = recs[i].child[1];
+      node.level = recs[i].level;
+      FlatDirView view;
+      KWSC_CHECK(pools.MakeView(recs[i], static_cast<int64_t>(i), &view,
+                                sink));
+      node.dir.AttachFlat(view);
+    }
+    index.mmap_ = std::move(file);
+    return index;
+  }
+
+  /// Layout-level verification of a flat container: header, slab bounds and
+  /// alignment, tree structure, canonical sort orders, object-id ranges.
+  /// Never aborts; every problem goes through `sink`. The audit subsystem
+  /// wraps this into AuditCheck::kFlatLayout (audit/index_auditor.h).
+  static bool ValidateFlat(const MmapFile& file, uint64_t offset,
+                           uint32_t expected_tag, const FlatErrorSink& sink) {
+    if (!FlatArenaReader::Validate(file, offset, expected_tag, sink)) {
+      return false;
+    }
+    const FlatArenaReader reader(file, offset, expected_tag);
+    if (!reader.RootOk<FlatRoot>()) {
+      sink("flat root size mismatch for family");
+      return false;
+    }
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    if (root.dim != static_cast<uint32_t>(D)) {
+      sink("flat root dimensionality mismatch");
+      return false;
+    }
+    bool ok = true;
+    RankSpace<D, Scalar> rank_probe;
+    if (!rank_probe.AttachFlat(reader, root.rank, root.num_objects, sink)) {
+      ok = false;
+    }
+    if (!reader.SlabOk<Point<D, int64_t>>(root.rank_points) ||
+        root.rank_points.count != root.num_objects) {
+      sink("flat rank-point slab out of bounds or cardinality mismatch");
+      ok = false;
+    }
+    FlatDirPoolReader pools;
+    if (!pools.Init(reader, root.dir_pools, sink)) return false;
+    if (!reader.SlabOk<FlatNodeRec<RankBox>>(root.nodes)) {
+      sink("flat node slab out of bounds");
+      return false;
+    }
+    const auto recs = reader.Slab<FlatNodeRec<RankBox>>(root.nodes);
+    if (!ValidateFlatTreeShallow(recs, pools, sink)) ok = false;
+    if (!ValidateFlatTreeDeep(recs, pools, root.num_objects, sink)) ok = false;
+    return ok;
   }
 
  private:
@@ -493,9 +647,9 @@ class OrpKwIndex {
       // Some query keyword is small at this node: its materialized list
       // bounds the remaining work by N_u^{1-1/k} (Section 3.3).
       if (options_.enable_materialized_lists) {
-        const std::vector<ObjectId>* list =
+        const std::optional<std::span<const ObjectId>> list =
             node.dir.MaterializedList(small_keyword);
-        if (list == nullptr) return true;  // Keyword absent below this node.
+        if (!list.has_value()) return true;  // Keyword absent below this node.
         for (ObjectId e : *list) {
           if (!budget->Charge()) return Exhaust(stats);
           if (stats != nullptr) {
@@ -517,6 +671,9 @@ class OrpKwIndex {
     for (int c = 0; c < 2; ++c) {
       const int32_t child = node.child[c];
       if (child < 0) continue;
+      // Pull the child node's line while the tuple registry is probed; the
+      // cell test and recursive visit touch it a few instructions later.
+      KWSC_PREFETCH(&nodes_[child]);
       if (options_.enable_tuple_pruning &&
           !node.dir.ChildTupleNonEmpty(c, {lids, kws.size()})) {
         if (stats != nullptr) ++stats->tuple_pruned;
@@ -539,6 +696,7 @@ class OrpKwIndex {
     for (int c = 0; c < 2; ++c) {
       const int32_t child = node.child[c];
       if (child < 0) continue;
+      KWSC_PREFETCH(&nodes_[child]);
       if (!nodes_[child].cell.Intersects(rq)) continue;
       const Node& child_node = nodes_[child];
       for (ObjectId e : child_node.dir.pivots()) {
@@ -562,8 +720,12 @@ class OrpKwIndex {
   const Corpus* corpus_;
   FrameworkOptions options_;
   RankSpace<D, Scalar> rank_;
-  std::vector<Point<D, int64_t>> rank_points_;
+  // Owned after a build or v1 load; a zero-copy view into mmap_ after
+  // LoadFlat.
+  OwnedSpan<Point<D, int64_t>> rank_points_;
   std::vector<Node> nodes_;
+  // Keeps the mapped bytes every flat view points into alive.
+  std::shared_ptr<const MmapFile> mmap_;
 };
 
 }  // namespace kwsc

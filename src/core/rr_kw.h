@@ -17,11 +17,13 @@
 #define KWSC_CORE_RR_KW_H_
 
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <type_traits>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "core/dim_reduction.h"
 #include "core/orp_kw.h"
 #include "geom/box.h"
@@ -81,6 +83,36 @@ class RrKwIndex {
 
   size_t MemoryBytes() const { return engine_->MemoryBytes(); }
 
+  // ---- v2 flat layout (d = 1 only, where the lifted engine is the
+  // persistable OrpKwIndex<2>): the wrapper adds no state of its own, so its
+  // container is the engine's container under the wrapper's family tag. ----
+
+  static constexpr uint32_t kFlatFamilyTag = FlatFamilyTag('K', 'W', 'R', '2');
+
+  void SaveFlat(std::ostream* out, uint32_t family_tag = kFlatFamilyTag) const
+    requires(kLiftedDim <= 2)
+  {
+    engine_->SaveFlat(out, family_tag);
+  }
+
+  static RrKwIndex LoadFlat(std::shared_ptr<const MmapFile> file,
+                            const Corpus* corpus, uint64_t offset = 0,
+                            uint32_t expected_tag = kFlatFamilyTag)
+    requires(kLiftedDim <= 2)
+  {
+    RrKwIndex index;
+    index.engine_.emplace(
+        Engine::LoadFlat(std::move(file), corpus, offset, expected_tag));
+    return index;
+  }
+
+  static bool ValidateFlat(const MmapFile& file, uint64_t offset,
+                           uint32_t expected_tag, const FlatErrorSink& sink)
+    requires(kLiftedDim <= 2)
+  {
+    return Engine::ValidateFlat(file, offset, expected_tag, sink);
+  }
+
   /// The 2d-dimensional dominance box equivalent to rectangle intersection.
   static Box<kLiftedDim, Scalar> LiftQuery(const RectType& q) {
     Box<kLiftedDim, Scalar> lifted;
@@ -96,6 +128,9 @@ class RrKwIndex {
  private:
   // The invariant auditor audits the lifted engine; see audit/audit_access.h.
   friend struct audit::AuditAccess;
+
+  // Shell constructor used by LoadFlat.
+  RrKwIndex() = default;
 
   // Deferred construction (the lifted points must be computed first).
   std::optional<Engine> engine_;

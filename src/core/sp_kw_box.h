@@ -21,13 +21,18 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "common/macros.h"
 #include "common/memory.h"
 #include "common/ops_budget.h"
+#include "core/flat_format.h"
 #include "core/framework.h"
 #include "core/node_directory.h"
 #include "geom/box.h"
@@ -50,8 +55,8 @@ class SpKwBoxIndex {
 
   SpKwBoxIndex(std::span<const PointType> points, const Corpus* corpus,
                FrameworkOptions options)
-      : corpus_(corpus), options_(options),
-        points_(points.begin(), points.end()) {
+      : corpus_(corpus), options_(options) {
+    points_.Assign(std::vector<PointType>(points.begin(), points.end()));
     KWSC_CHECK(corpus != nullptr);
     KWSC_CHECK(points.size() == corpus->num_objects());
     KWSC_CHECK(options_.k >= 2 && options_.k <= 8);
@@ -113,7 +118,7 @@ class SpKwBoxIndex {
   }
 
   size_t MemoryBytes() const {
-    size_t total = VectorBytes(points_) + nodes_.capacity() * sizeof(Node);
+    size_t total = points_.MemoryBytes() + nodes_.capacity() * sizeof(Node);
     for (const Node& node : nodes_) total += node.dir.MemoryBytes();
     return total;
   }
@@ -127,7 +132,7 @@ class SpKwBoxIndex {
     SaveFrameworkOptions(&ar, options_);
     ar.Pod<uint64_t>(corpus_->num_objects());
     ar.Pod<uint64_t>(corpus_->total_weight());
-    ar.Vec(points_);
+    ar.Vec(points_.view());
     ar.Pod<uint64_t>(nodes_.size());
     for (const Node& node : nodes_) {
       ar.Pod(node.cell);
@@ -151,7 +156,7 @@ class SpKwBoxIndex {
                    "corpus object count mismatch");
     KWSC_CHECK_MSG(ar.Pod<uint64_t>() == corpus->total_weight(),
                    "corpus weight mismatch");
-    index.points_ = ar.Vec<PointType>();
+    index.points_.Assign(ar.Vec<PointType>());
     const uint64_t num_nodes = ar.Pod<uint64_t>();
     index.nodes_.resize(num_nodes);
     for (Node& node : index.nodes_) {
@@ -162,6 +167,136 @@ class SpKwBoxIndex {
       node.dir.Load(&ar);
     }
     return index;
+  }
+
+  // ---- v2 flat layout: same scheme as OrpKwIndex, with original-space
+  // points in place of the rank tables (DESIGN.md "On-disk layout v2").
+  // Wrapper families (SR-KW, and LC-KW for D >= 2 via the alias) reuse the
+  // container under their own family tag. ----
+
+  static constexpr uint32_t kFlatFamilyTag = FlatFamilyTag('K', 'W', 'S', '2');
+
+  struct FlatRoot {
+    uint32_t dim;
+    uint32_t reserved;
+    PersistedFrameworkOptions options;
+    uint64_t num_objects;
+    uint64_t total_weight;
+    SlabRef points;  // Point<D, Scalar>
+    SlabRef nodes;   // FlatNodeRec<Box<D, Scalar>>
+    FlatDirPools dir_pools;
+  };
+
+  void SaveFlat(std::ostream* out, uint32_t family_tag = kFlatFamilyTag) const {
+    FlatArenaWriter writer(family_tag);
+    FlatRoot root;
+    std::memset(static_cast<void*>(&root), 0, sizeof(root));  // padding must be deterministic
+    root.dim = static_cast<uint32_t>(D);
+    root.options.k = options_.k;
+    root.options.alpha = options_.alpha;
+    root.options.leaf_objects = options_.leaf_objects;
+    root.options.enable_tuple_pruning = options_.enable_tuple_pruning;
+    root.options.enable_materialized_lists = options_.enable_materialized_lists;
+    root.options.exact_cell_tests = options_.exact_cell_tests;
+    root.num_objects = corpus_->num_objects();
+    root.total_weight = corpus_->total_weight();
+    root.points = writer.Slab(points_.view());
+
+    FlatDirPoolWriter pools;
+    std::vector<FlatNodeRec<Box<D, Scalar>>> recs(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      FlatNodeRec<Box<D, Scalar>>& rec = recs[i];
+      std::memset(static_cast<void*>(&rec), 0, sizeof(rec));
+      rec.cell = nodes_[i].cell;
+      rec.child[0] = nodes_[i].child[0];
+      rec.child[1] = nodes_[i].child[1];
+      rec.level = nodes_[i].level;
+      pools.Append(nodes_[i].dir, &rec);
+    }
+    root.nodes = writer.Slab<FlatNodeRec<Box<D, Scalar>>>(recs);
+    root.dir_pools = pools.WriteSlabs(&writer);
+    writer.Root(root);
+    writer.WriteTo(out);
+  }
+
+  static SpKwBoxIndex LoadFlat(std::shared_ptr<const MmapFile> file,
+                               const Corpus* corpus, uint64_t offset = 0,
+                               uint32_t expected_tag = kFlatFamilyTag) {
+    KWSC_CHECK(corpus != nullptr);
+    KWSC_CHECK(file != nullptr);
+    const FlatErrorSink sink = AbortingFlatErrorSink();
+    const FlatArenaReader reader(*file, offset, expected_tag);
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    KWSC_CHECK_MSG(root.dim == static_cast<uint32_t>(D),
+                   "index dimensionality mismatch");
+    KWSC_CHECK_MSG(root.num_objects == corpus->num_objects(),
+                   "corpus object count mismatch");
+    KWSC_CHECK_MSG(root.total_weight == corpus->total_weight(),
+                   "corpus weight mismatch");
+
+    SpKwBoxIndex index(corpus);
+    index.options_.k = root.options.k;
+    index.options_.alpha = root.options.alpha;
+    index.options_.leaf_objects = root.options.leaf_objects;
+    index.options_.enable_tuple_pruning = root.options.enable_tuple_pruning;
+    index.options_.enable_materialized_lists =
+        root.options.enable_materialized_lists;
+    index.options_.exact_cell_tests = root.options.exact_cell_tests;
+    KWSC_CHECK(reader.SlabOk<PointType>(root.points) &&
+               root.points.count == root.num_objects);
+    index.points_.Attach(reader.Slab<PointType>(root.points));
+
+    FlatDirPoolReader pools;
+    KWSC_CHECK(pools.Init(reader, root.dir_pools, sink));
+    const auto recs = reader.Slab<FlatNodeRec<Box<D, Scalar>>>(root.nodes);
+    KWSC_CHECK(ValidateFlatTreeShallow(recs, pools, sink));
+    index.nodes_.resize(recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+      Node& node = index.nodes_[i];
+      node.cell = recs[i].cell;
+      node.child[0] = recs[i].child[0];
+      node.child[1] = recs[i].child[1];
+      node.level = recs[i].level;
+      FlatDirView view;
+      KWSC_CHECK(pools.MakeView(recs[i], static_cast<int64_t>(i), &view,
+                                sink));
+      node.dir.AttachFlat(view);
+    }
+    index.mmap_ = std::move(file);
+    return index;
+  }
+
+  static bool ValidateFlat(const MmapFile& file, uint64_t offset,
+                           uint32_t expected_tag, const FlatErrorSink& sink) {
+    if (!FlatArenaReader::Validate(file, offset, expected_tag, sink)) {
+      return false;
+    }
+    const FlatArenaReader reader(file, offset, expected_tag);
+    if (!reader.RootOk<FlatRoot>()) {
+      sink("flat root size mismatch for family");
+      return false;
+    }
+    const FlatRoot& root = reader.template Root<FlatRoot>();
+    if (root.dim != static_cast<uint32_t>(D)) {
+      sink("flat root dimensionality mismatch");
+      return false;
+    }
+    bool ok = true;
+    if (!reader.SlabOk<PointType>(root.points) ||
+        root.points.count != root.num_objects) {
+      sink("flat point slab out of bounds or cardinality mismatch");
+      ok = false;
+    }
+    FlatDirPoolReader pools;
+    if (!pools.Init(reader, root.dir_pools, sink)) return false;
+    if (!reader.SlabOk<FlatNodeRec<Box<D, Scalar>>>(root.nodes)) {
+      sink("flat node slab out of bounds");
+      return false;
+    }
+    const auto recs = reader.Slab<FlatNodeRec<Box<D, Scalar>>>(root.nodes);
+    if (!ValidateFlatTreeShallow(recs, pools, sink)) ok = false;
+    if (!ValidateFlatTreeDeep(recs, pools, root.num_objects, sink)) ok = false;
+    return ok;
   }
 
  private:
@@ -289,9 +424,9 @@ class SpKwBoxIndex {
     KeywordId small_keyword = 0;
     if (!node.dir.ResolveLarge(kws, lids, &small_keyword)) {
       if (options_.enable_materialized_lists) {
-        const std::vector<ObjectId>* list =
+        const std::optional<std::span<const ObjectId>> list =
             node.dir.MaterializedList(small_keyword);
-        if (list == nullptr) return true;
+        if (!list.has_value()) return true;
         for (ObjectId e : *list) {
           if (!budget->Charge()) return Exhaust(stats);
           if (stats != nullptr) {
@@ -311,6 +446,8 @@ class SpKwBoxIndex {
     for (int c = 0; c < 2; ++c) {
       const int32_t child = node.child[c];
       if (child < 0) continue;
+      // Pull the child node's line while the tuple registry is probed.
+      KWSC_PREFETCH(&nodes_[child]);
       if (options_.enable_tuple_pruning &&
           !node.dir.ChildTupleNonEmpty(c, {lids, kws.size()})) {
         if (stats != nullptr) ++stats->tuple_pruned;
@@ -333,6 +470,7 @@ class SpKwBoxIndex {
     for (int c = 0; c < 2; ++c) {
       const int32_t child = node.child[c];
       if (child < 0) continue;
+      KWSC_PREFETCH(&nodes_[child]);
       if (Classify(nodes_[child].cell, q) == 0) continue;
       for (ObjectId e : nodes_[child].dir.pivots()) {
         if (!budget->Charge()) return Exhaust(stats);
@@ -354,8 +492,11 @@ class SpKwBoxIndex {
 
   const Corpus* corpus_;
   FrameworkOptions options_;
-  std::vector<PointType> points_;
+  // Owned after a build or v1 load; a zero-copy view into mmap_ after
+  // LoadFlat.
+  OwnedSpan<PointType> points_;
   std::vector<Node> nodes_;
+  std::shared_ptr<const MmapFile> mmap_;
 };
 
 }  // namespace kwsc

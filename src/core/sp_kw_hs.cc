@@ -6,6 +6,8 @@
 #include <cmath>
 #include <functional>
 #include <numeric>
+#include <optional>
+#include <span>
 
 #include "common/macros.h"
 #include "common/memory.h"
@@ -213,9 +215,9 @@ bool SpKwHsIndex::Visit(uint32_t node_index, const QueryType& q,
   KeywordId small_keyword = 0;
   if (!node.dir.ResolveLarge(kws, lids, &small_keyword)) {
     if (options_.enable_materialized_lists) {
-      const std::vector<ObjectId>* list =
+      const std::optional<std::span<const ObjectId>> list =
           node.dir.MaterializedList(small_keyword);
-      if (list == nullptr) return true;
+      if (!list.has_value()) return true;
       for (ObjectId e : *list) {
         if (!budget->Charge()) return Exhaust(stats);
         if (stats != nullptr) {

@@ -12,10 +12,12 @@
 #ifndef KWSC_CORE_SRP_KW_H_
 #define KWSC_CORE_SRP_KW_H_
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "core/framework.h"
 #include "core/sp_kw_box.h"
 #include "geom/lifting.h"
@@ -65,9 +67,36 @@ class SrpKwIndex {
 
   size_t MemoryBytes() const { return engine_->MemoryBytes(); }
 
+  // ---- v2 flat layout: this wrapper adds no state of its own (the lifted
+  // points live inside the engine), so its container IS the engine's
+  // container, re-tagged so a file cannot be loaded as the wrong family. ----
+
+  static constexpr uint32_t kFlatFamilyTag = FlatFamilyTag('K', 'W', 'P', '2');
+
+  void SaveFlat(std::ostream* out, uint32_t family_tag = kFlatFamilyTag) const {
+    engine_->SaveFlat(out, family_tag);
+  }
+
+  static SrpKwIndex LoadFlat(std::shared_ptr<const MmapFile> file,
+                             const Corpus* corpus, uint64_t offset = 0,
+                             uint32_t expected_tag = kFlatFamilyTag) {
+    SrpKwIndex index;
+    index.engine_.emplace(
+        Engine::LoadFlat(std::move(file), corpus, offset, expected_tag));
+    return index;
+  }
+
+  static bool ValidateFlat(const MmapFile& file, uint64_t offset,
+                           uint32_t expected_tag, const FlatErrorSink& sink) {
+    return Engine::ValidateFlat(file, offset, expected_tag, sink);
+  }
+
  private:
   // The invariant auditor audits the lifted engine; see audit/audit_access.h.
   friend struct audit::AuditAccess;
+
+  // Shell constructor used by LoadFlat.
+  SrpKwIndex() = default;
 
   ConvexQuery<D + 1, double> MakeQuery(const PointType& center,
                                        double radius_sq) const {

@@ -40,27 +40,36 @@ struct Box {
     return true;
   }
 
+  // The three containment predicates accumulate per-dimension verdicts with
+  // `&` instead of short-circuiting: D is a small compile-time constant, so
+  // the loop fully unrolls into straight-line compares with no unpredictable
+  // branch — these run once per tree node on the query descent, where a
+  // mispredict costs more than the spared comparisons ever save.
+
   bool Contains(const PointType& p) const {
+    bool inside = true;
     for (int i = 0; i < D; ++i) {
-      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+      inside &= (p[i] >= lo[i]) & (p[i] <= hi[i]);
     }
-    return true;
+    return inside;
   }
 
   /// True iff the closed boxes share at least one point.
   bool Intersects(const Box& other) const {
+    bool overlaps = true;
     for (int i = 0; i < D; ++i) {
-      if (other.hi[i] < lo[i] || other.lo[i] > hi[i]) return false;
+      overlaps &= (other.hi[i] >= lo[i]) & (other.lo[i] <= hi[i]);
     }
-    return true;
+    return overlaps;
   }
 
   /// True iff this box lies entirely inside `other` (covered-node test).
   bool InsideOf(const Box& other) const {
+    bool inside = true;
     for (int i = 0; i < D; ++i) {
-      if (lo[i] < other.lo[i] || hi[i] > other.hi[i]) return false;
+      inside &= (lo[i] >= other.lo[i]) & (hi[i] <= other.hi[i]);
     }
-    return true;
+    return inside;
   }
 
   /// True iff any point of the box satisfies the halfspace. The minimizing

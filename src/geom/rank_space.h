@@ -7,6 +7,10 @@
 // on each dimension, breaking ties by object id, and working with ranks. A
 // query rectangle converts to a rank rectangle in O(log N) per dimension
 // (binary search on the sorted coordinates) without changing its result set.
+//
+// Storage is OwnedSpan-backed: the tables are owned vectors when built or
+// v1-loaded, and zero-copy views into a mapped v2 flat container after
+// AttachFlat (the owning index keeps the mapping alive).
 
 #ifndef KWSC_GEOM_RANK_SPACE_H_
 #define KWSC_GEOM_RANK_SPACE_H_
@@ -18,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "common/macros.h"
 #include "common/memory.h"
 #include "common/serialize.h"
@@ -35,6 +40,12 @@ class RankSpace {
   using RankPoint = Point<D, int64_t>;
   using RankBox = Box<D, int64_t>;
 
+  /// Slab references of one rank table inside a flat container.
+  struct FlatImage {
+    SlabRef sorted_coords[D];
+    SlabRef ranks[D];
+  };
+
   RankSpace() = default;
 
   /// Builds rank tables over `points`; point i belongs to object id i.
@@ -49,12 +60,14 @@ class RankSpace {
         }
         return a < b;  // Ties broken by object id (Section 3.4).
       });
-      sorted_coords_[dim].resize(n);
-      ranks_[dim].resize(n);
+      std::vector<Scalar> sorted(n);
+      std::vector<int64_t> ranks(n);
       for (size_t pos = 0; pos < n; ++pos) {
-        sorted_coords_[dim][pos] = points[order[pos]][dim];
-        ranks_[dim][order[pos]] = static_cast<int64_t>(pos);
+        sorted[pos] = points[order[pos]][dim];
+        ranks[order[pos]] = static_cast<int64_t>(pos);
       }
+      sorted_coords_[dim].Assign(std::move(sorted));
+      ranks_[dim].Assign(std::move(ranks));
     }
     num_points_ = n;
   }
@@ -92,7 +105,7 @@ class RankSpace {
   size_t MemoryBytes() const {
     size_t total = 0;
     for (int dim = 0; dim < D; ++dim) {
-      total += VectorBytes(sorted_coords_[dim]) + VectorBytes(ranks_[dim]);
+      total += sorted_coords_[dim].MemoryBytes() + ranks_[dim].MemoryBytes();
     }
     return total;
   }
@@ -100,22 +113,51 @@ class RankSpace {
   void Save(OutputArchive* ar) const {
     ar->Pod<uint64_t>(num_points_);
     for (int dim = 0; dim < D; ++dim) {
-      ar->Vec(sorted_coords_[dim]);
-      ar->Vec(ranks_[dim]);
+      ar->Vec(sorted_coords_[dim].view());
+      ar->Vec(ranks_[dim].view());
     }
   }
 
   void Load(InputArchive* ar) {
     num_points_ = ar->Pod<uint64_t>();
     for (int dim = 0; dim < D; ++dim) {
-      sorted_coords_[dim] = ar->Vec<Scalar>();
-      ranks_[dim] = ar->Vec<int64_t>();
+      sorted_coords_[dim].Assign(ar->Vec<Scalar>());
+      ranks_[dim].Assign(ar->Vec<int64_t>());
     }
   }
 
+  /// Writes both tables as flat slabs and returns their references.
+  FlatImage SaveFlatSlabs(FlatArenaWriter* writer) const {
+    FlatImage image;
+    for (int dim = 0; dim < D; ++dim) {
+      image.sorted_coords[dim] = writer->Slab(sorted_coords_[dim].view());
+      image.ranks[dim] = writer->Slab(ranks_[dim].view());
+    }
+    return image;
+  }
+
+  /// Re-points the tables at mapped slabs. Returns false (after sinking a
+  /// message) on a bounds or cardinality mismatch.
+  bool AttachFlat(const FlatArenaReader& reader, const FlatImage& image,
+                  uint64_t num_points, const FlatErrorSink& sink) {
+    for (int dim = 0; dim < D; ++dim) {
+      if (!reader.SlabOk<Scalar>(image.sorted_coords[dim]) ||
+          !reader.SlabOk<int64_t>(image.ranks[dim]) ||
+          image.sorted_coords[dim].count != num_points ||
+          image.ranks[dim].count != num_points) {
+        sink("flat rank-space slab out of bounds or cardinality mismatch");
+        return false;
+      }
+      sorted_coords_[dim].Attach(reader.Slab<Scalar>(image.sorted_coords[dim]));
+      ranks_[dim].Attach(reader.Slab<int64_t>(image.ranks[dim]));
+    }
+    num_points_ = num_points;
+    return true;
+  }
+
  private:
-  std::array<std::vector<Scalar>, D> sorted_coords_;
-  std::array<std::vector<int64_t>, D> ranks_;  // ranks_[dim][object id].
+  std::array<OwnedSpan<Scalar>, D> sorted_coords_;
+  std::array<OwnedSpan<int64_t>, D> ranks_;  // ranks_[dim][object id].
   size_t num_points_ = 0;
 };
 

@@ -56,4 +56,25 @@ size_t FrameworkKsi::MemoryBytes() const {
   return engine_->MemoryBytes() + points_.capacity() * sizeof(Point<1, double>);
 }
 
+void FrameworkKsi::SaveFlat(std::ostream* out) const {
+  engine_->SaveFlat(out, kFlatFamilyTag);
+}
+
+FrameworkKsi FrameworkKsi::LoadFlat(std::shared_ptr<const MmapFile> file,
+                                    const KsiInstance* instance,
+                                    uint64_t offset) {
+  KWSC_CHECK(instance != nullptr);
+  FrameworkKsi index(instance);
+  index.engine_ = std::make_unique<OrpKwIndex<1, double>>(
+      OrpKwIndex<1, double>::LoadFlat(std::move(file), &instance->corpus,
+                                      offset, kFlatFamilyTag));
+  return index;
+}
+
+bool FrameworkKsi::ValidateFlat(const MmapFile& file, uint64_t offset,
+                                const FlatErrorSink& sink) {
+  return OrpKwIndex<1, double>::ValidateFlat(file, offset, kFlatFamilyTag,
+                                             sink);
+}
+
 }  // namespace kwsc

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <ostream>
 #include <span>
 #include <vector>
 
+#include "common/flat_arena.h"
 #include "core/framework.h"
 #include "core/orp_kw.h"
 #include "ksi/ksi_instance.h"
@@ -45,7 +47,27 @@ class FrameworkKsi {
 
   size_t MemoryBytes() const;
 
+  // ---- v2 flat layout: the embedding coordinates are the object ids, so
+  // the wrapper persists nothing of its own — its container is the 1-d
+  // ORP-KW engine's container under the k-SI family tag. ----
+
+  static constexpr uint32_t kFlatFamilyTag = FlatFamilyTag('K', 'W', 'K', '2');
+
+  void SaveFlat(std::ostream* out) const;
+
+  /// `instance` must match the one the saved index was built over (the
+  /// engine validates object count and total weight against its corpus).
+  static FrameworkKsi LoadFlat(std::shared_ptr<const MmapFile> file,
+                               const KsiInstance* instance,
+                               uint64_t offset = 0);
+
+  static bool ValidateFlat(const MmapFile& file, uint64_t offset,
+                           const FlatErrorSink& sink);
+
  private:
+  // Shell constructor used by LoadFlat.
+  explicit FrameworkKsi(const KsiInstance* instance) : instance_(instance) {}
+
   const KsiInstance* instance_;
   std::unique_ptr<OrpKwIndex<1, double>> engine_;
   std::vector<Point<1, double>> points_;

@@ -9,25 +9,6 @@
 
 namespace kwsc {
 
-namespace {
-
-// Galloping lower_bound: finds the first position in [begin, end) whose value
-// is >= target, assuming the answer is usually near `begin`.
-const ObjectId* GallopLowerBound(const ObjectId* begin, const ObjectId* end,
-                                 ObjectId target) {
-  size_t step = 1;
-  const ObjectId* probe = begin;
-  while (probe < end && *probe < target) {
-    begin = probe + 1;
-    probe = begin + step;
-    step <<= 1;
-  }
-  if (probe > end) probe = end;
-  return std::lower_bound(begin, probe, target);
-}
-
-}  // namespace
-
 InvertedIndex::InvertedIndex(const Corpus& corpus)
     : postings_(corpus.vocab_size()) {
   // Two passes: size, then fill, so each list is allocated exactly once.
@@ -87,7 +68,14 @@ std::vector<ObjectId> InvertedIndex::IntersectWithLimit(
 
 std::vector<ObjectId> InvertedIndex::Intersect(
     std::span<const KeywordId> keywords) const {
-  return IntersectWithLimit(keywords, static_cast<size_t>(-1));
+  if (keywords.empty()) return {};
+  // Full intersections run the pairwise blocked/galloping kernels; the
+  // limit path above keeps its candidate-at-a-time loop, whose early exit
+  // the pairwise cascade cannot replicate.
+  std::vector<std::span<const ObjectId>> lists;
+  lists.reserve(keywords.size());
+  for (KeywordId w : keywords) lists.push_back(Postings(w));
+  return IntersectSortedLists(lists, kernel_);
 }
 
 bool InvertedIndex::IntersectionEmpty(

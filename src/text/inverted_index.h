@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/simd_intersect.h"
 #include "text/corpus.h"
 #include "text/document.h"
 
@@ -42,6 +43,11 @@ class InvertedIndex {
   /// |D(w)| for one keyword.
   size_t PostingSize(KeywordId w) const { return Postings(w).size(); }
 
+  /// Selects the pairwise-merge kernel full intersections run on
+  /// (common/simd_intersect.h). kAuto picks AVX2 when the CPU has it.
+  void set_intersect_kernel(IntersectKernel kernel) { kernel_ = kernel; }
+  IntersectKernel intersect_kernel() const { return kernel_; }
+
   size_t MemoryBytes() const;
 
  private:
@@ -50,6 +56,7 @@ class InvertedIndex {
                                            size_t limit) const;
 
   std::vector<std::vector<ObjectId>> postings_;
+  IntersectKernel kernel_ = IntersectKernel::kAuto;
 };
 
 }  // namespace kwsc

@@ -13,10 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "audit/audit.h"
+#include "common/flat_arena.h"
 #include "audit/audit_access.h"
 #include "audit/index_auditor.h"
 #include "common/random.h"
@@ -369,6 +372,66 @@ TEST(AuditReportTest, MergePrefixesAndAccumulates) {
 // At scale: every family audits clean at N >= 10^5 (N = total verbose-set
 // weight), the acceptance bar for the invariant gate.
 // ---------------------------------------------------------------------------
+
+TEST(AuditFlat, CleanFlatContainerAuditsClean) {
+  const Corpus corpus = SharedPairCorpus(256);
+  const auto pts = GridPoints(256);
+  const OrpKwIndex<2> index = BuildOrp(corpus, pts);
+  std::ostringstream out;
+  index.SaveFlat(&out);
+  const auto file = MmapFile::FromBytes(out.str());
+  const AuditReport report = audit::AuditFlatFile<OrpKwIndex<2>>(*file);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(AuditFlat, CorruptedRootOffsetIsCaughtAsFlatLayout) {
+  const Corpus corpus = SharedPairCorpus(256);
+  const auto pts = GridPoints(256);
+  const OrpKwIndex<2> index = BuildOrp(corpus, pts);
+  std::ostringstream out;
+  index.SaveFlat(&out);
+  std::string bytes = out.str();
+  // Point the header's root_offset past the end of the container: the exact
+  // corruption a bit flip or truncated copy would produce. The audit must
+  // attribute it to the flat-layout class, not crash or mislabel it.
+  FlatHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  header.root_offset = header.total_bytes + kFlatAlignment;
+  std::memcpy(bytes.data(), &header, sizeof(header));
+
+  const auto file = MmapFile::FromBytes(bytes);
+  const AuditReport report = audit::AuditFlatFile<OrpKwIndex<2>>(*file);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kFlatLayout)) << report.ToString();
+  EXPECT_EQ(report.total_violations(),
+            report.CountOf(AuditCheck::kFlatLayout))
+      << "flat corruption must not masquerade as another class: "
+      << report.ToString();
+}
+
+TEST(AuditFlat, CorruptedSlabCountIsCaughtAsFlatLayout) {
+  const Corpus corpus = SharedPairCorpus(256);
+  const auto pts = GridPoints(256);
+  const OrpKwIndex<2> index = BuildOrp(corpus, pts);
+  std::ostringstream out;
+  index.SaveFlat(&out);
+  std::string bytes = out.str();
+  // Blow up a SlabRef count inside the root POD: offsets stay plausible but
+  // the slab would run past the container, which bounds checking must catch.
+  FlatHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  using Root = OrpKwIndex<2>::FlatRoot;
+  ASSERT_LE(header.root_offset + sizeof(Root), bytes.size());
+  Root root;
+  std::memcpy(&root, bytes.data() + header.root_offset, sizeof(root));
+  root.rank_points.count = header.total_bytes;  // Beyond the file.
+  std::memcpy(bytes.data() + header.root_offset, &root, sizeof(root));
+
+  const auto file = MmapFile::FromBytes(bytes);
+  const AuditReport report = audit::AuditFlatFile<OrpKwIndex<2>>(*file);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(AuditCheck::kFlatLayout)) << report.ToString();
+}
 
 TEST(AuditAtScale, AllFamiliesCleanAtHundredThousandWeight) {
   Rng rng(8108);

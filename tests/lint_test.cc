@@ -75,6 +75,28 @@ TEST(LintFixtures, BadArchiveSkewFiresArchiveSymmetryPerSkewClass) {
   EXPECT_TRUE(dropped && swapped && narrowed) << Render(findings);
 }
 
+TEST(LintFixtures, BadFlatPairFiresArchiveSymmetryByExactName) {
+  const auto findings = LintFixture("tests/lint_fixtures/bad_flat_pair.cc");
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("archive-symmetry"), 3) << Render(findings);
+  EXPECT_EQ(counts.size(), 1u) << Render(findings);
+  bool missing_load_flat = false;
+  bool missing_save_flat = false;
+  bool skewed_v1 = false;
+  for (const Finding& f : findings) {
+    missing_load_flat =
+        missing_load_flat || f.message.find("MissingLoadFlat") == 0;
+    missing_save_flat =
+        missing_save_flat || f.message.find("MissingSaveFlat") == 0;
+    // The regression that motivates exact-name pairing: the skewed v1 pair
+    // must still fire even though the owner also defines SaveFlat/LoadFlat.
+    skewed_v1 = skewed_v1 || f.message.find("SkewedV1WithFlat") == 0;
+    EXPECT_EQ(f.message.find("FlatControl"), std::string::npos) << f.Format();
+  }
+  EXPECT_TRUE(missing_load_flat && missing_save_flat && skewed_v1)
+      << Render(findings);
+}
+
 TEST(LintFixtures, BadOpsBudgetFiresOpsBudget) {
   const auto findings =
       LintFixture("tests/lint_fixtures/core/bad_ops_budget.cc");

@@ -94,13 +94,14 @@ TEST(DirectoryBuilder, MaterializesSmallInheritedKeywordsExcludingPivots) {
   NodeDirectory dir;
   builder.Build(active, children, nullptr, {7}, &dir, nullptr);
   // Keyword 1 (small, inherited-at-root) occurs in objects 0 and 3.
-  const auto* list1 = dir.MaterializedList(1);
-  ASSERT_NE(list1, nullptr);
-  EXPECT_EQ(*list1, (std::vector<ObjectId>{0, 3}));
+  const auto list1 = dir.MaterializedList(1);
+  ASSERT_TRUE(list1.has_value());
+  EXPECT_EQ(std::vector<ObjectId>(list1->begin(), list1->end()),
+            (std::vector<ObjectId>{0, 3}));
   // Keyword 7 occurs only in the pivot object 7, so its list is absent.
-  EXPECT_EQ(dir.MaterializedList(7), nullptr);
+  EXPECT_FALSE(dir.MaterializedList(7).has_value());
   // Keyword 0 is large: never materialized here.
-  EXPECT_EQ(dir.MaterializedList(0), nullptr);
+  EXPECT_FALSE(dir.MaterializedList(0).has_value());
 }
 
 TEST(DirectoryBuilder, InheritedFilterRestrictsClassification) {
@@ -117,10 +118,11 @@ TEST(DirectoryBuilder, InheritedFilterRestrictsClassification) {
   NodeDirectory dir;
   builder.Build(active, children, &inherited, {}, &dir, nullptr);
   EXPECT_EQ(dir.LargeId(0), -1);
-  const auto* list = dir.MaterializedList(2);
-  ASSERT_NE(list, nullptr);
-  EXPECT_EQ(*list, (std::vector<ObjectId>{1, 3}));
-  EXPECT_EQ(dir.MaterializedList(0), nullptr);
+  const auto list = dir.MaterializedList(2);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(std::vector<ObjectId>(list->begin(), list->end()),
+            (std::vector<ObjectId>{1, 3}));
+  EXPECT_FALSE(dir.MaterializedList(0).has_value());
 }
 
 TEST(DirectoryBuilder, TupleRegistryMatchesBruteForce) {
@@ -222,7 +224,8 @@ TEST(DirectoryBuilder, LeafStoresWholeActiveSetAsPivots) {
   std::vector<ObjectId> active = {2, 5, 6};
   NodeDirectory dir;
   builder.BuildLeaf(active, &dir);
-  EXPECT_EQ(dir.pivots(), active);
+  EXPECT_EQ(std::vector<ObjectId>(dir.pivots().begin(), dir.pivots().end()),
+            active);
   EXPECT_EQ(dir.weight(), 6u);
   EXPECT_EQ(dir.num_children(), 0u);
 }

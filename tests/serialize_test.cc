@@ -84,6 +84,57 @@ TEST(ArchiveDeath, VecLengthSlightlyBeyondStreamAborts) {
   EXPECT_DEATH(ar.Vec<uint32_t>(), "exceeds remaining archive bytes");
 }
 
+TEST(Archive, BufferedWriterMatchesUnbufferedByteForByte) {
+  // The coalescing buffer is a pure transport optimization: the byte stream
+  // must equal one produced by writing each value straight to the stream.
+  std::stringstream buffered;
+  std::stringstream raw;
+  std::vector<uint64_t> big(20000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i * 2654435761u;
+  {
+    OutputArchive ar(&buffered);
+    ar.Magic("TEST", 3);
+    for (uint32_t i = 0; i < 5000; ++i) ar.Pod<uint32_t>(i);  // Many tiny Pods.
+    ar.Vec(big);  // One payload far beyond the flush threshold.
+    ar.Pod<uint8_t>(0xAB);
+  }
+  {
+    raw.write("TEST", 4);
+    const uint32_t version = 3;
+    raw.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    for (uint32_t i = 0; i < 5000; ++i) {
+      raw.write(reinterpret_cast<const char*>(&i), sizeof(i));
+    }
+    const uint64_t count = big.size();
+    raw.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    raw.write(reinterpret_cast<const char*>(big.data()),
+              static_cast<std::streamsize>(big.size() * sizeof(uint64_t)));
+    const uint8_t tail = 0xAB;
+    raw.write(reinterpret_cast<const char*>(&tail), sizeof(tail));
+  }
+  EXPECT_EQ(buffered.str(), raw.str());
+}
+
+TEST(Archive, FlushOrdersBufferedBytesBeforeRawStreamWrites) {
+  // The nested-save hazard: a live archive plus a direct stream write must
+  // produce bytes in program order once Flush() is called in between. This
+  // is the contract LinfNnIndex::Save (archive header, then engine save to
+  // the same stream) depends on.
+  std::stringstream stream;
+  {
+    OutputArchive ar(&stream);
+    ar.Pod<uint32_t>(0x11111111);
+    ar.Flush();
+    const uint32_t nested = 0x22222222;
+    stream.write(reinterpret_cast<const char*>(&nested), sizeof(nested));
+    ar.Pod<uint32_t>(0x33333333);
+  }
+  InputArchive in(&stream);
+  EXPECT_EQ(in.Pod<uint32_t>(), 0x11111111u);
+  EXPECT_EQ(in.Pod<uint32_t>(), 0x22222222u);
+  EXPECT_EQ(in.Pod<uint32_t>(), 0x33333333u);
+}
+
 TEST(Archive, VecLengthExactlyAtStreamEndReads) {
   std::stringstream stream;
   {

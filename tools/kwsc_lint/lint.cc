@@ -288,6 +288,8 @@ const char* OpName(ArchiveOp::Kind kind) {
 
 struct SerializeFn {
   std::string file;
+  std::string owner;   // Class (or free-pair stem) the function belongs to.
+  std::string suffix;  // "" for Save/Load, "Flat" for SaveFlat/LoadFlat.
   int line = 0;
   std::vector<ArchiveOp> ops;
 };
@@ -658,7 +660,8 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
       const bool fn_has_budget =
           RangeContainsIdent(toks, i + 2, params_close, "OpsBudget");
 
-      // Archive unit detection.
+      // Archive unit detection. LoadFlat reads from a mapped file rather
+      // than an InputArchive, so MmapFile params count as load-like too.
       const std::string& fname = tok.text;
       const bool save_like =
           StartsWith(fname, "Save") &&
@@ -667,9 +670,11 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
       const bool load_like =
           StartsWith(fname, "Load") &&
           (RangeContainsIdent(toks, i + 2, params_close, "InputArchive") ||
-           RangeContainsIdent(toks, i + 2, params_close, "istream"));
+           RangeContainsIdent(toks, i + 2, params_close, "istream") ||
+           RangeContainsIdent(toks, i + 2, params_close, "MmapFile"));
       if (save_like || load_like) {
         std::string owner;
+        std::string suffix = fname.substr(4);  // "" / "Flat" / free-pair stem.
         if (i >= 2 && toks[i - 1].text == "::" &&
             toks[i - 2].kind == Token::kIdent) {
           owner = toks[i - 2].text;  // Out-of-line member: Class::Save.
@@ -677,13 +682,21 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
           owner = class_stack.back().first;
         } else {
           owner = fname.substr(4);  // Free SaveFoo/LoadFoo pair.
+          suffix.clear();
         }
         if (!owner.empty()) {
           SerializeFn fn;
           fn.file = path;
+          fn.owner = owner;
+          fn.suffix = suffix;
           fn.line = tok.line;
           fn.ops = extract_ops(body_open + 1, body_close);
-          (save_like ? saves : loads)[owner].push_back(std::move(fn));
+          // Pair by exact name, not by owner alone: an owner with both a
+          // v1 Save/Load and a v2 SaveFlat/LoadFlat must keep each pair
+          // checked independently (owner-keyed pairing would see two save
+          // fns and silently skip the v1 check).
+          const std::string key = owner + '\x1f' + suffix;
+          (save_like ? saves : loads)[key].push_back(std::move(fn));
         }
       }
 
@@ -694,9 +707,23 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
   scan_range(scan_range, 0, toks.size(), /*has_budget=*/false);
 
   // --- archive-symmetry pairing (per file: the codebase keeps a pair's two
-  // bodies in one translation-unit's source file) ---------------------------
-  for (const auto& [owner, save_fns] : saves) {
-    auto it = loads.find(owner);
+  // bodies in one translation-unit's source file). Keys are owner + exact
+  // name suffix, so Save pairs with Load and SaveFlat with LoadFlat. --------
+  for (const auto& [key, save_fns] : saves) {
+    auto it = loads.find(key);
+    if (save_fns.front().suffix == "Flat") {
+      // Flat bodies are arena writes, not archive-op streams, so the op
+      // comparison does not apply; what must hold is that a mapped-format
+      // writer ships with its reader in the same translation unit.
+      if (it == loads.end()) {
+        report(save_fns.front().line, "archive-symmetry",
+               save_fns.front().owner +
+                   ": SaveFlat has no LoadFlat counterpart in this file; a "
+                   "v2 flat container nobody can map back is write-only "
+                   "data");
+      }
+      continue;
+    }
     if (it == loads.end() || save_fns.size() != 1 || it->second.size() != 1) {
       continue;  // Unpaired or overloaded: nothing comparable.
     }
@@ -728,9 +755,19 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
     }
     if (!mismatch.empty()) {
       report(at_line, "archive-symmetry",
-             owner + ": " + mismatch +
+             save.owner + ": " + mismatch +
                  "; Save and Load must stream the same ordered field "
                  "sequence");
+    }
+  }
+  for (const auto& [key, load_fns] : loads) {
+    if (load_fns.front().suffix != "Flat") continue;
+    if (saves.find(key) == saves.end()) {
+      report(load_fns.front().line, "archive-symmetry",
+             load_fns.front().owner +
+                 ": LoadFlat has no SaveFlat counterpart in this file; a "
+                 "mapped-format reader with no writer cannot be kept in "
+                 "sync with the layout it parses");
     }
   }
 }
