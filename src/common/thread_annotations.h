@@ -1,0 +1,92 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Clang Thread Safety Analysis annotations.
+//
+// These macros attach compile-time locking contracts to types, members, and
+// functions: which mutex guards which field, which capability a function
+// requires, acquires, releases, or must not hold. Under clang with
+// -Wthread-safety (the default and CI configuration for clang builds, as an
+// error under KWSC_WERROR) a violated contract is a build break; under gcc —
+// which has no thread-safety analysis — every macro expands to nothing, so
+// the annotated tree stays portable. The blocking clang job in CI is what
+// gives the annotations teeth regardless of the local toolchain.
+//
+// The annotation vocabulary follows the Clang TSA documentation (and the
+// convention popularized by abseil's thread_annotations.h), prefixed KWSC_
+// so kwsc-lint and grep can find every contract site:
+//
+//   KWSC_CAPABILITY("mutex")   — the type is a lockable capability
+//   KWSC_SCOPED_CAPABILITY     — RAII type that acquires/releases in
+//                                ctor/dtor (MutexLock)
+//   KWSC_GUARDED_BY(mu)        — field may only be read/written with mu held
+//   KWSC_PT_GUARDED_BY(mu)     — pointee (not the pointer) guarded by mu
+//   KWSC_REQUIRES(mu)          — caller must hold mu
+//   KWSC_ACQUIRE(mu)/KWSC_RELEASE(mu) — function takes / drops mu
+//   KWSC_TRY_ACQUIRE(ok, mu)   — conditional acquire, `ok` on success
+//   KWSC_EXCLUDES(mu)          — caller must NOT hold mu (anti-deadlock)
+//   KWSC_ASSERT_CAPABILITY(mu) — runtime-checked "mu is held here"
+//   KWSC_RETURN_CAPABILITY(mu) — accessor returning the capability
+//   KWSC_NO_THREAD_SAFETY_ANALYSIS — opt a function body out (rare; every
+//                                use needs a comment saying why)
+//
+// Annotation conventions for this codebase are documented in DESIGN.md §5g
+// ("Concurrency contracts"); kwsc-lint's concurrency-unguarded-mutex rule
+// enforces that every Mutex member participates in at least one annotation.
+
+#ifndef KWSC_COMMON_THREAD_ANNOTATIONS_H_
+#define KWSC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define KWSC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define KWSC_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+#define KWSC_CAPABILITY(x) KWSC_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define KWSC_SCOPED_CAPABILITY KWSC_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define KWSC_GUARDED_BY(x) KWSC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define KWSC_PT_GUARDED_BY(x) KWSC_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define KWSC_ACQUIRED_BEFORE(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define KWSC_ACQUIRED_AFTER(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define KWSC_REQUIRES(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define KWSC_REQUIRES_SHARED(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define KWSC_ACQUIRE(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define KWSC_ACQUIRE_SHARED(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define KWSC_RELEASE(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define KWSC_RELEASE_SHARED(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define KWSC_TRY_ACQUIRE(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define KWSC_EXCLUDES(...) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define KWSC_ASSERT_CAPABILITY(x) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define KWSC_RETURN_CAPABILITY(x) \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define KWSC_NO_THREAD_SAFETY_ANALYSIS \
+  KWSC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // KWSC_COMMON_THREAD_ANNOTATIONS_H_

@@ -3,6 +3,7 @@
 #include "common/thread_pool.h"
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace kwsc {
 
@@ -16,28 +17,32 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   // Every TaskGroup waits before destruction, so nothing can be left queued.
+  // Workers are joined, but the check still takes the lock: the guarded-by
+  // contract has no "all other threads are gone" escape hatch, and the
+  // uncontended acquire is free.
+  MutexLock lock(&mu_);
   KWSC_CHECK(queue_.empty());
 }
 
 void ThreadPool::Enqueue(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     KWSC_CHECK(!stopping_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOneTask() {
   Task task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -51,8 +56,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain the queue even when stopping so no task is ever dropped.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -80,7 +85,7 @@ void TaskGroup::Wait() {
     // the time Wait() can return, the last worker has released mu_ and will
     // never touch this group again — the caller may destroy it immediately.
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_.load(std::memory_order_acquire) == 0) return;
     }
     // Help: run queued tasks (this group's or anyone's) instead of blocking,
@@ -88,20 +93,18 @@ void TaskGroup::Wait() {
     if (pool_->RunOneTask()) continue;
     // Queue empty but tasks outstanding: they are running on other threads.
     // Sleep until the last one signals.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] {
-      return pending_.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(&mu_);
+    while (pending_.load(std::memory_order_acquire) != 0) cv_.Wait(&mu_);
     return;
   }
 }
 
 void TaskGroup::OnTaskDone() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Decrement under the lock: a waiter must not be able to see zero (and
   // destroy the group) before this thread is done touching cv_ and mu_.
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 

@@ -15,18 +15,26 @@
 // Indexes are immutable after construction (the contract exercised by
 // tests/concurrency_test.cc), which is what makes the query-side sharding
 // synchronization-free.
+//
+// Locking contract (checked by clang -Wthread-safety, see
+// common/thread_annotations.h): the pool's queue and stop flag are guarded
+// by mu_; TaskGroup's pending count is an atomic and its mutex exists only
+// to make the final-decrement/notify handoff race-free against a waiter
+// destroying the group. Raw std::thread is confined to this file (enforced
+// by kwsc-lint's concurrency-raw-thread rule).
 
 #ifndef KWSC_COMMON_THREAD_POOL_H_
 #define KWSC_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace kwsc {
 
@@ -57,17 +65,17 @@ class ThreadPool {
     TaskGroup* group;
   };
 
-  void Enqueue(Task task);
+  void Enqueue(Task task) KWSC_EXCLUDES(mu_);
 
   /// Pops and runs one queued task; returns false if the queue was empty.
-  bool RunOneTask();
+  bool RunOneTask() KWSC_EXCLUDES(mu_);
 
-  void WorkerLoop();
+  void WorkerLoop() KWSC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Task> queue_ KWSC_GUARDED_BY(mu_);
+  bool stopping_ KWSC_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -87,17 +95,21 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  void Run(std::function<void()> fn);
-  void Wait();
+  void Run(std::function<void()> fn) KWSC_EXCLUDES(mu_);
+  void Wait() KWSC_EXCLUDES(mu_);
 
  private:
   friend class ThreadPool;
-  void OnTaskDone();
+  void OnTaskDone() KWSC_EXCLUDES(mu_);
 
   ThreadPool* pool_;
+  /// Outstanding task count. Atomic rather than guarded: Run() increments
+  /// from the submitting thread without the lock; the decrement and the
+  /// final notify happen under mu_ (see OnTaskDone) so a waiter cannot
+  /// observe zero while the last worker still touches this group.
   std::atomic<uint64_t> pending_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
 };
 
 /// Resolves FrameworkOptions::num_threads: a positive request is taken

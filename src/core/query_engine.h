@@ -21,6 +21,13 @@
 // additionally snapshots a full QueryStats per query into a QueryTrace
 // (off by default; the traced path reaches the identical merged totals by
 // folding each per-query snapshot into the shard stats in order).
+//
+// Concurrency contract (DESIGN.md §5g): all cross-thread state inside Run is
+// disjoint-by-construction — shard s writes only rows [begin_s, end_s),
+// shard_stats[s], and shard_obs[s] — so the shard lambdas hold no locks;
+// kwsc-lint's thread-capture rule checks that by-reference captures
+// submitted to the TaskGroup stay in that shape. The one shared mutable
+// structure, the optional MetricsRegistry, is internally locked.
 
 #ifndef KWSC_CORE_QUERY_ENGINE_H_
 #define KWSC_CORE_QUERY_ENGINE_H_
@@ -98,8 +105,11 @@ class QueryEngine {
 
   /// Execution knobs from FrameworkOptions (num_threads, enable_tracing).
   /// `registry`, when non-null, accumulates engine.* counters and latency /
-  /// work histograms across every Run; it must outlive the engine and is
-  /// only touched from the thread calling Run.
+  /// work histograms across every Run; it must outlive the engine.
+  /// MetricsRegistry is internally locked (see obs/metrics.h), so one
+  /// registry may be shared by engines running on different threads — the
+  /// per-batch fold is commutative, and tests/concurrency_stress_test.cc
+  /// hammers exactly this sharing under TSan.
   QueryEngine(const Index* index, const FrameworkOptions& options,
               obs::MetricsRegistry* registry = nullptr)
       : QueryEngine(index, options.num_threads, options.enable_tracing,

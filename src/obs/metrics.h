@@ -7,9 +7,22 @@
 // run, budget exhaustions), point-in-time double gauges (build wall time,
 // peak RSS), and log-bucket histograms (per-query latency and work). Names
 // are stored in ordered maps so iteration — and therefore every export — is
-// deterministic. Not thread-safe: shards record into local structures and
-// the owner merges them in a fixed order (the same discipline as
-// MergeQueryStats).
+// deterministic.
+//
+// Thread safety: every method is safe to call concurrently. One internal
+// Mutex guards the three maps (annotated KWSC_GUARDED_BY, so a clang
+// -Wthread-safety build proves no accessor slips past the lock), mutators
+// lock for the duration of the update, and the read accessors return
+// snapshots by value rather than references into guarded state. That makes
+// the registry the one obs structure multiple query engines — and the
+// upcoming sharded/dynamized serving paths — may share: shards still record
+// into shard-local QueryStats/Histogram structures and merge in a fixed
+// order (the MergeQueryStats determinism discipline is unchanged), but the
+// cross-engine fold into a shared registry no longer needs external
+// serialization. Counter totals are exact under concurrency; only the
+// *interleaving* of concurrent merges is unordered, which is invisible in
+// the commutative fold (counters add, histograms add bucket-wise; gauges
+// are last-writer-wins by design).
 
 #ifndef KWSC_OBS_METRICS_H_
 #define KWSC_OBS_METRICS_H_
@@ -18,6 +31,8 @@
 #include <map>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace kwsc {
@@ -25,52 +40,93 @@ namespace obs {
 
 class MetricsRegistry {
  public:
-  void AddCounter(const std::string& name, uint64_t delta) {
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void AddCounter(const std::string& name, uint64_t delta) KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     counters_[name] += delta;
   }
 
   /// Value of a counter, 0 if it was never touched.
-  uint64_t CounterValue(const std::string& name) const {
+  uint64_t CounterValue(const std::string& name) const KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
-  void SetGauge(const std::string& name, double value) {
+  void SetGauge(const std::string& name, double value) KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     gauges_[name] = value;
   }
 
-  double GaugeValue(const std::string& name) const {
+  double GaugeValue(const std::string& name) const KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     const auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second;
   }
 
-  /// The named histogram, created empty on first use.
-  Histogram* MutableHistogram(const std::string& name) {
-    return &histograms_[name];
+  /// Records one sample into the named histogram (created empty on first
+  /// use). Replaces the old MutableHistogram accessor, which handed out a
+  /// pointer into guarded state — exactly the escape the annotations exist
+  /// to prevent. Hot paths should keep recording into a local Histogram and
+  /// fold it in with MergeHistogram; this is for one-off samples.
+  void RecordHistogram(const std::string& name, uint64_t value)
+      KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    histograms_[name].Record(value);
   }
 
-  void MergeHistogram(const std::string& name, const Histogram& h) {
+  void MergeHistogram(const std::string& name, const Histogram& h)
+      KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     histograms_[name].Merge(h);
   }
 
-  /// Folds every metric of `other` into this registry (counters add, gauges
-  /// overwrite, histograms merge exactly).
-  void Merge(const MetricsRegistry& other) {
-    for (const auto& [name, value] : other.counters_) counters_[name] += value;
-    for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
-    for (const auto& [name, h] : other.histograms_) histograms_[name].Merge(h);
+  /// The named histogram by value (empty if never touched).
+  Histogram HistogramSnapshot(const std::string& name) const
+      KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram() : it->second;
   }
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
-  const std::map<std::string, double>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
+  /// Folds every metric of `other` into this registry (counters add, gauges
+  /// overwrite, histograms merge exactly). Snapshots `other` first, then
+  /// applies under this registry's lock — the two locks are never held
+  /// together, so concurrent A.Merge(B) and B.Merge(A) cannot deadlock.
+  void Merge(const MetricsRegistry& other) KWSC_EXCLUDES(mu_) {
+    const std::map<std::string, uint64_t> counters = other.counters();
+    const std::map<std::string, double> gauges = other.gauges();
+    const std::map<std::string, Histogram> histograms = other.histograms();
+    MutexLock lock(&mu_);
+    for (const auto& [name, value] : counters) counters_[name] += value;
+    for (const auto& [name, value] : gauges) gauges_[name] = value;
+    for (const auto& [name, h] : histograms) histograms_[name].Merge(h);
+  }
+
+  // Snapshot accessors: consistent copies taken under the lock. Export-path
+  // only (JsonExporter, tests) — the copy cost is irrelevant there, and
+  // returning by value is what lets concurrent mutators keep running.
+  std::map<std::string, uint64_t> counters() const KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return counters_;
+  }
+  std::map<std::string, double> gauges() const KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return gauges_;
+  }
+  std::map<std::string, Histogram> histograms() const KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return histograms_;
   }
 
  private:
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> counters_ KWSC_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ KWSC_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ KWSC_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

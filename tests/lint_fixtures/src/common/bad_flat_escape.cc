@@ -1,0 +1,24 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded flat-escape violations: reinterpreting mapped-file bytes and doing
+// hand pointer arithmetic on a std::byte view, both outside the
+// FlatArenaReader accessors that own those operations.
+//
+// Expected findings: exactly 2 x flat-escape (the cast in PeekHeader, the
+// arithmetic in SkipHeader).
+
+#include <cstdint>
+
+#include "common/flat_arena.h"
+
+namespace kwsc {
+
+uint64_t PeekHeader(const MmapFile& file) {
+  return *reinterpret_cast<const uint64_t*>(file.data());
+}
+
+const std::byte* SkipHeader(const std::byte* base) {
+  return base + 16;
+}
+
+}  // namespace kwsc

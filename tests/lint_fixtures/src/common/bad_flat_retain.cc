@@ -1,0 +1,23 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded flat-retain violations: members that pin a view into a mapped
+// region past the scope that derived it — a retained FlatArenaReader and a
+// retained std::byte pointer. Owning the MmapFile itself (shared_ptr, as
+// every flat-loaded index does) is the sanctioned pattern and stays clean.
+//
+// Expected findings: exactly 2 x flat-retain (reader_, base_).
+
+#include <memory>
+
+#include "common/flat_arena.h"
+
+namespace kwsc {
+
+class LeakyView {
+ private:
+  FlatArenaReader reader_;
+  const std::byte* base_ = nullptr;
+  std::shared_ptr<const MmapFile> mmap_;
+};
+
+}  // namespace kwsc

@@ -1,0 +1,21 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded concurrency-raw-mutex violations: raw std synchronization types
+// outside common/mutex.h. The lock_guard line mentions two banned types
+// (lock_guard and its std::mutex template argument) and fires twice.
+//
+// Expected findings: exactly 4 x concurrency-raw-mutex.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace kwsc {
+
+void CriticalSection() {
+  std::mutex m;
+  std::condition_variable cv;
+  std::lock_guard<std::mutex> hold(m);
+  cv.notify_all();
+}
+
+}  // namespace kwsc

@@ -1,0 +1,19 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded concurrency-raw-thread violations: a raw std::thread, a detach()
+// that abandons it, and a pthread call — all outside common/thread_pool.*,
+// the one file allowed to spell raw threads.
+//
+// Expected findings: exactly 3 x concurrency-raw-thread.
+
+#include <thread>
+
+namespace kwsc {
+
+void SpawnUnmanaged() {
+  std::thread worker([] {});
+  worker.detach();
+  pthread_exit(nullptr);
+}
+
+}  // namespace kwsc

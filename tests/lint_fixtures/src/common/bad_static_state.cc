@@ -1,0 +1,29 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded concurrency-static-state violations: mutable static declarations
+// in core/common scope that are none of const/constexpr, std::atomic,
+// thread_local, or Mutex-guarded. The safe spellings below them must stay
+// clean.
+//
+// Expected findings: exactly 3 x concurrency-static-state
+// (g_call_count, g_cache, local_calls).
+
+#include <atomic>
+#include <vector>
+
+namespace kwsc {
+
+static int g_call_count = 0;
+static std::vector<int> g_cache;
+
+static constexpr int kThreshold = 64;
+static const bool kVerbose = false;
+static std::atomic<int> g_inflight{0};
+static thread_local int tls_scratch = 0;
+
+int Bump() {
+  static int local_calls = 0;
+  return ++local_calls + g_call_count + kThreshold + tls_scratch;
+}
+
+}  // namespace kwsc

@@ -1,0 +1,36 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded thread-capture violations: lambdas submitted to a TaskGroup that
+// capture by reference and write the captured object with no lock. The last
+// two tasks are the sanctioned idioms — elementwise writes into pre-sized
+// slots, and a MutexLock-guarded update — and must stay clean.
+//
+// Expected findings: exactly 3 x thread-capture (total, rows, sum).
+
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace kwsc {
+
+void Driver(ThreadPool* pool) {
+  int total = 0;
+  std::vector<int> rows;
+  int sum = 0;
+  std::vector<int> slots(4);
+  int guarded = 0;
+  Mutex mu;
+  TaskGroup group(pool);
+  group.Run([&total] { total += 1; });
+  group.Run([&rows] { rows.push_back(1); });
+  group.Run([&] { sum = sum + 1; });
+  group.Run([&slots] { slots[0] = 1; });
+  group.Run([&guarded, &mu] {
+    MutexLock lock(&mu);
+    guarded += 1;
+  });
+  group.Wait();
+}
+
+}  // namespace kwsc

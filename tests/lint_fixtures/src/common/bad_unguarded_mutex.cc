@@ -1,0 +1,33 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded concurrency-unguarded-mutex violation: a Mutex member no
+// thread-safety annotation ever names. AnnotatedCounter shows the two ways
+// a mutex earns its keep — guarding a field (KWSC_GUARDED_BY) and appearing
+// in a method contract (KWSC_EXCLUDES) — and must stay clean.
+//
+// Expected findings: exactly 1 x concurrency-unguarded-mutex (mu_).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace kwsc {
+
+class UnguardedCounter {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};
+
+class AnnotatedCounter {
+ public:
+  void Bump() KWSC_EXCLUDES(mu2_);
+
+ private:
+  Mutex mu2_;
+  int count_ KWSC_GUARDED_BY(mu2_) = 0;
+};
+
+}  // namespace kwsc

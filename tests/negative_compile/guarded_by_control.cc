@@ -1,0 +1,36 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Control for guarded_by_violation.cc: identical shape, but the guarded
+// member is only touched under MutexLock, so this must compile everywhere —
+// including under Clang's -Wthread-safety -Werror=thread-safety. If this
+// case ever fails, the harness (or the annotation header) is broken, not
+// the code under test.
+
+#include "common/mutex.h"
+
+namespace kwsc {
+
+class SafeCounter {
+ public:
+  void Bump() KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++hits_;
+  }
+
+  int hits() KWSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return hits_;
+  }
+
+ private:
+  Mutex mu_;
+  int hits_ KWSC_GUARDED_BY(mu_) = 0;
+};
+
+void TouchSafeCounter() {
+  SafeCounter counter;
+  counter.Bump();
+  (void)counter.hits();
+}
+
+}  // namespace kwsc

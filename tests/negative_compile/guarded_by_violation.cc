@@ -1,0 +1,30 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Must NOT compile under Clang with -Wthread-safety -Werror=thread-safety:
+// `hits_` is declared KWSC_GUARDED_BY(mu_) but Bump touches it without
+// holding the lock. This is the enforcement half of the annotation retrofit
+// — if this file ever compiles under the thread-safety analysis, the
+// GUARDED_BY contract has silently stopped being checked.
+//
+// Under gcc the annotations expand to nothing, so the same file doubles as
+// a must-compile case: the annotated code has to stay valid plain C++.
+
+#include "common/mutex.h"
+
+namespace kwsc {
+
+class UnsafeCounter {
+ public:
+  void Bump() { ++hits_; }  // writes hits_ with mu_ not held
+
+ private:
+  Mutex mu_;
+  int hits_ KWSC_GUARDED_BY(mu_) = 0;
+};
+
+void TouchUnsafeCounter() {
+  UnsafeCounter counter;
+  counter.Bump();
+}
+
+}  // namespace kwsc

@@ -190,11 +190,11 @@ TEST(MetricsRegistry, MergeFoldsEverything) {
   MetricsRegistry a;
   a.AddCounter("c", 1);
   a.SetGauge("g", 1.0);
-  a.MutableHistogram("h")->Record(5);
+  a.RecordHistogram("h", 5);
   MetricsRegistry b;
   b.AddCounter("c", 2);
   b.SetGauge("g", 2.0);
-  b.MutableHistogram("h")->Record(6);
+  b.RecordHistogram("h", 6);
   a.Merge(b);
   EXPECT_EQ(a.CounterValue("c"), 3u);
   EXPECT_DOUBLE_EQ(a.GaugeValue("g"), 2.0);

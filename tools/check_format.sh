@@ -7,7 +7,7 @@
 # When clang-format is not installed the gate degrades to a no-op with a
 # warning instead of failing: developer containers ship only gcc; CI installs
 # the real tool and is where the gate has teeth.
-set -u
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -25,17 +25,30 @@ mapfile -t FILES < <(find src tests bench examples \
   -path 'tests/lint_fixtures' -prune -o \
   \( -name '*.cc' -o -name '*.h' \) -print | sort)
 
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "check_format.sh: FAILED — file discovery returned nothing." >&2
+  exit 1
+fi
+
 if [ "${1:-}" = "--fix" ]; then
   "$FMT" -i "${FILES[@]}"
   echo "check_format.sh: reformatted ${#FILES[@]} files."
   exit 0
 fi
 
+# Exit code 1 from --dry-run --Werror means drift; anything else means the
+# tool itself failed (bad invocation, crash) and must fail the gate loudly
+# rather than masquerade as a formatting finding.
 STATUS=0
 for f in "${FILES[@]}"; do
-  if ! "$FMT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+  rc=0
+  "$FMT" --dry-run --Werror "$f" >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -eq 1 ]; then
     echo "needs formatting: $f"
     STATUS=1
+  elif [ "$rc" -ne 0 ]; then
+    echo "check_format.sh: FAILED — '$FMT' exited $rc on $f." >&2
+    exit "$rc"
   fi
 done
 

@@ -232,12 +232,14 @@ Scan Tokenize(const std::string& contents) {
   return scan;
 }
 
-/// Index of the token matching the opener at `open` ('(' or '{' or '<'),
+/// Index of the token matching the opener at `open` ('(', '{', '[' or '<'),
 /// or tokens.size() if unbalanced.
 size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
   const std::string& open_text = tokens[open].text;
-  const std::string close_text =
-      open_text == "(" ? ")" : open_text == "{" ? "}" : ">";
+  const std::string close_text = open_text == "("   ? ")"
+                                 : open_text == "{" ? "}"
+                                 : open_text == "[" ? "]"
+                                                    : ">";
   int depth = 0;
   for (size_t i = open; i < tokens.size(); ++i) {
     if (tokens[i].text == open_text) {
@@ -346,6 +348,435 @@ std::string JoinTokens(const std::vector<Token>& tokens, size_t begin,
     joined += tokens[i].text;
   }
   return joined;
+}
+
+// ---------------------------------------------------------------------------
+// v2 semantic model: a declarations pass feeding the concurrency and
+// flat-slab escape rules. Still lexical — "declaration" is a token-shape
+// heuristic, not a parse — but the two-pass split (collect what names mean,
+// then judge how they are used) is what lets these rules reason about
+// captures, guards, and mapped memory instead of single tokens.
+// ---------------------------------------------------------------------------
+
+/// What the declarations pass learned about one file.
+struct DeclIndex {
+  /// Mutex members (`Mutex name_;`, optionally `mutable`): name -> line.
+  std::map<std::string, int> mutex_members;
+  /// Every identifier appearing inside a KWSC_* thread-safety annotation's
+  /// argument list. Deliberately coarse: naming a mutex anywhere in the
+  /// contract vocabulary counts as giving it a discipline.
+  std::set<std::string> annotated;
+  /// Identifiers declared with a mapped-memory type (MmapFile, SlabRef,
+  /// FlatArenaReader) — the taint set for flat-escape.
+  std::set<std::string> mapped;
+  /// Identifiers declared `std::byte*` / `const std::byte*`: raw pointers
+  /// into (potentially) mapped regions, subject to the arithmetic ban.
+  std::set<std::string> byte_ptrs;
+  /// Member-shaped (trailing '_') declarations that retain a view into a
+  /// mapped region past the deriving scope: name -> line, for flat-retain.
+  std::map<std::string, int> retained_members;
+};
+
+const std::set<std::string>& ThreadAnnotationMacros() {
+  static const std::set<std::string> kMacros = {
+      "KWSC_GUARDED_BY",       "KWSC_PT_GUARDED_BY",
+      "KWSC_REQUIRES",         "KWSC_REQUIRES_SHARED",
+      "KWSC_ACQUIRE",          "KWSC_ACQUIRE_SHARED",
+      "KWSC_RELEASE",          "KWSC_RELEASE_SHARED",
+      "KWSC_TRY_ACQUIRE",      "KWSC_EXCLUDES",
+      "KWSC_ASSERT_CAPABILITY", "KWSC_RETURN_CAPABILITY",
+      "KWSC_ACQUIRED_BEFORE",  "KWSC_ACQUIRED_AFTER"};
+  return kMacros;
+}
+
+/// From the token after a type name, skips declarator decoration and returns
+/// the declared identifier's index, or tokens.size() when the type name is
+/// not introducing a declaration here (a cast, a template argument, ...).
+size_t DeclaredIdent(const std::vector<Token>& toks, size_t after_type) {
+  size_t j = after_type;
+  while (j < toks.size() &&
+         (toks[j].text == "*" || toks[j].text == "&" ||
+          toks[j].text == "const")) {
+    ++j;
+  }
+  if (j < toks.size() && toks[j].kind == Token::kIdent) return j;
+  return toks.size();
+}
+
+DeclIndex BuildDeclIndex(const std::vector<Token>& toks) {
+  DeclIndex index;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::kIdent) continue;
+
+    // Mutex members: `Mutex name_;` (locals without the member underscore
+    // are scoped by construction and carry their discipline in the code
+    // around them).
+    if (tok.text == "Mutex" && i + 2 < toks.size() &&
+        toks[i + 1].kind == Token::kIdent && toks[i + 2].text == ";" &&
+        EndsWith(toks[i + 1].text, "_")) {
+      index.mutex_members.emplace(toks[i + 1].text, toks[i + 1].line);
+    }
+
+    // Annotation arguments.
+    if (ThreadAnnotationMacros().count(tok.text) > 0 && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      const size_t close = MatchingClose(toks, i + 1);
+      for (size_t j = i + 2; j < close && j < toks.size(); ++j) {
+        if (toks[j].kind == Token::kIdent) index.annotated.insert(toks[j].text);
+      }
+    }
+
+    // Mapped-memory declarations: `MmapFile f`, `const SlabRef& r`,
+    // `FlatArenaReader reader`. The declared name inherits the taint.
+    if (tok.text == "MmapFile" || tok.text == "SlabRef" ||
+        tok.text == "FlatArenaReader") {
+      const size_t decl = DeclaredIdent(toks, i + 1);
+      if (decl < toks.size()) {
+        index.mapped.insert(toks[decl].text);
+        if (tok.text == "FlatArenaReader" &&
+            EndsWith(toks[decl].text, "_") && decl + 1 < toks.size() &&
+            (toks[decl + 1].text == ";" || toks[decl + 1].text == "=" ||
+             toks[decl + 1].text == "{")) {
+          index.retained_members.emplace(toks[decl].text, toks[decl].line);
+        }
+      }
+    }
+
+    // `std::byte* p` declarations (the '*' is what makes it a raw view; a
+    // by-value std::byte is inert).
+    if (tok.text == "std" && i + 2 < toks.size() &&
+        toks[i + 1].text == "::" && toks[i + 2].text == "byte") {
+      size_t j = i + 3;
+      bool pointer = false;
+      while (j < toks.size() &&
+             (toks[j].text == "*" || toks[j].text == "&" ||
+              toks[j].text == "const")) {
+        pointer = pointer || toks[j].text == "*";
+        ++j;
+      }
+      if (pointer && j < toks.size() && toks[j].kind == Token::kIdent) {
+        index.byte_ptrs.insert(toks[j].text);
+        if (EndsWith(toks[j].text, "_") && j + 1 < toks.size() &&
+            (toks[j + 1].text == ";" || toks[j + 1].text == "=" ||
+             toks[j + 1].text == "{")) {
+          index.retained_members.emplace(toks[j].text, toks[j].line);
+        }
+      }
+    }
+  }
+  return index;
+}
+
+/// Methods that mutate their receiver; a call through a by-reference capture
+/// inside a pool task is a write to shared state.
+bool IsMutatingMethod(const std::string& name) {
+  static const std::set<std::string> kMutating = {
+      "push_back", "emplace_back", "pop_back", "push_front", "pop_front",
+      "insert",    "emplace",      "erase",    "clear",      "resize",
+      "reserve",   "assign",       "append",   "Record",     "Merge"};
+  return kMutating.count(name) > 0;
+}
+
+/// True when the identifier at `at` is the head of an access path (not
+/// `x.ident` / `x->ident` / `ns::ident` — there the sharing question belongs
+/// to the path's root, which gets its own check at its own position).
+bool IsAccessRoot(const std::vector<Token>& toks, size_t at) {
+  if (at == 0) return true;
+  const std::string& prev = toks[at - 1].text;
+  return prev != "." && prev != "->" && prev != "::";
+}
+
+/// True when the identifier at `at` is written: plain or compound
+/// assignment, increment/decrement, or a mutating method call. `x[i] = ...`
+/// deliberately does not count — elementwise writes into pre-sized slots are
+/// the library's sanctioned disjoint-sharing idiom.
+bool IsWrite(const std::vector<Token>& toks, size_t at, size_t end) {
+  if (at + 1 >= end) return false;
+  const std::string& next = toks[at + 1].text;
+  // `x = ...` but not `x == ...`.
+  if (next == "=" && (at + 2 >= end || toks[at + 2].text != "=")) return true;
+  // Compound assignment: `x += ...`, `x |= ...`, ...
+  static const std::set<std::string> kCompound = {"+", "-", "*", "/", "%",
+                                                  "&", "|", "^"};
+  if (kCompound.count(next) > 0 && at + 2 < end &&
+      toks[at + 2].text == "=" &&
+      (at + 3 >= end || toks[at + 3].text != "=")) {
+    return true;
+  }
+  // `x++` / `++x` (the lexer splits the operator into two tokens).
+  if (next == "+" && at + 2 < end && toks[at + 2].text == "+") return true;
+  if (next == "-" && at + 2 < end && toks[at + 2].text == "-") return true;
+  if (at >= 2 && toks[at - 1].text == toks[at - 2].text &&
+      (toks[at - 1].text == "+" || toks[at - 1].text == "-")) {
+    return true;
+  }
+  // Mutating method on the captured object itself.
+  if ((next == "." || next == "->") && at + 3 < end &&
+      toks[at + 2].kind == Token::kIdent &&
+      IsMutatingMethod(toks[at + 2].text) && toks[at + 3].text == "(") {
+    return true;
+  }
+  return false;
+}
+
+/// The concurrency + flat-slab rule pack, scoped to library code (any path
+/// containing "src/" — which includes the seeded fixtures under
+/// tests/lint_fixtures/src/). `report` is (line, rule, message).
+template <typename ReportFn>
+void LintConcurrencyAndFlat(const std::string& path,
+                            const std::vector<Token>& toks,
+                            const ReportFn& report) {
+  if (path.find("src/") == std::string::npos) return;
+  // The vocabulary definitions themselves: the mutex wrapper spells the raw
+  // std types once, the annotation header is all macros.
+  if (path.find("common/mutex.h") != std::string::npos) return;
+  if (path.find("common/thread_annotations.h") != std::string::npos) return;
+  const bool pool_file = path.find("common/thread_pool.") != std::string::npos;
+  const bool arena_file = path.find("common/flat_arena.") != std::string::npos;
+  const bool state_scope = path.find("src/core/") != std::string::npos ||
+                           path.find("src/common/") != std::string::npos;
+
+  const DeclIndex decls = BuildDeclIndex(toks);
+
+  // --- concurrency-unguarded-mutex ----------------------------------------
+  for (const auto& [name, line] : decls.mutex_members) {
+    if (decls.annotated.count(name) > 0) continue;
+    report(line, "concurrency-unguarded-mutex",
+           "Mutex member '" + name +
+               "' is never named by a thread-safety annotation; state it "
+               "guards must say so (KWSC_GUARDED_BY) and methods taking it "
+               "must declare it (KWSC_EXCLUDES/KWSC_REQUIRES), or clang "
+               "-Wthread-safety has nothing to check");
+  }
+
+  // --- flat-retain ---------------------------------------------------------
+  if (!arena_file) {
+    for (const auto& [name, line] : decls.retained_members) {
+      report(line, "flat-retain",
+             "member '" + name +
+                 "' retains a view into a mapped region; pointers and "
+                 "readers over MmapFile memory must not outlive the scope "
+                 "that derived them — store the MmapFile (and offsets) and "
+                 "re-derive through FlatArenaReader accessors");
+    }
+  }
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+
+    // --- concurrency-raw-mutex ---------------------------------------------
+    if (tok.kind == Token::kIdent && tok.text == "std" &&
+        i + 2 < toks.size() && toks[i + 1].text == "::" &&
+        toks[i + 2].kind == Token::kIdent) {
+      static const std::set<std::string> kRawSync = {
+          "mutex",         "recursive_mutex",
+          "timed_mutex",   "recursive_timed_mutex",
+          "shared_mutex",  "shared_timed_mutex",
+          "condition_variable", "condition_variable_any",
+          "lock_guard",    "unique_lock",
+          "scoped_lock",   "shared_lock"};
+      if (kRawSync.count(toks[i + 2].text) > 0) {
+        report(tok.line, "concurrency-raw-mutex",
+               "raw std::" + toks[i + 2].text +
+                   " bypasses the annotated Mutex/MutexLock/CondVar "
+                   "vocabulary (common/mutex.h); thread-safety analysis "
+                   "cannot see locks it does not know");
+      }
+      // --- concurrency-raw-thread (std spelling) ---------------------------
+      if (!pool_file &&
+          (toks[i + 2].text == "thread" || toks[i + 2].text == "jthread")) {
+        report(tok.line, "concurrency-raw-thread",
+               "raw std::" + toks[i + 2].text +
+                   " outside common/thread_pool.*; all parallelism goes "
+                   "through ThreadPool/TaskGroup so fork/join nesting, "
+                   "helping waits, and shutdown stay in one audited place");
+      }
+    }
+
+    // --- concurrency-raw-thread (pthread / detach) -------------------------
+    if (!pool_file && tok.kind == Token::kIdent &&
+        StartsWith(tok.text, "pthread_")) {
+      report(tok.line, "concurrency-raw-thread",
+             "'" + tok.text +
+                 "' outside common/thread_pool.*; all parallelism goes "
+                 "through ThreadPool/TaskGroup");
+    }
+    if (!pool_file && (tok.text == "." || tok.text == "->") &&
+        i + 2 < toks.size() && toks[i + 1].text == "detach" &&
+        toks[i + 2].text == "(") {
+      report(toks[i + 1].line, "concurrency-raw-thread",
+             "detach() abandons a running thread; kwsc parallelism is "
+             "strictly fork/join (TaskGroup::Wait joins everything)");
+    }
+
+    // --- concurrency-static-state ------------------------------------------
+    if (state_scope && tok.kind == Token::kIdent && tok.text == "static") {
+      bool safe = false;
+      size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        const std::string& t = toks[j].text;
+        if (t == "const" || t == "constexpr" || t == "constinit" ||
+            t == "atomic" || t == "atomic_flag" || t == "thread_local" ||
+            t == "Mutex" ||
+            ThreadAnnotationMacros().count(t) > 0) {
+          safe = true;
+        }
+        if (t == ";" || t == "=" || t == "(" || t == "{") break;
+      }
+      // A '(' or '{' terminator is a function (or ctor-style init the rule
+      // cannot judge); ';' and '=' terminate an object declaration.
+      if (j < toks.size() && (toks[j].text == ";" || toks[j].text == "=") &&
+          !safe) {
+        report(tok.line, "concurrency-static-state",
+               "mutable static state in core/common is shared across every "
+               "thread; make it const/constexpr, std::atomic, thread_local, "
+               "or guard it with an annotated Mutex (KWSC_GUARDED_BY)");
+      }
+    }
+
+    // --- flat-escape: reinterpret_cast over mapped memory --------------------
+    if (!arena_file && tok.kind == Token::kIdent &&
+        tok.text == "reinterpret_cast" && !decls.mapped.empty()) {
+      size_t stmt_begin = i;
+      while (stmt_begin > 0 && toks[stmt_begin - 1].text != ";" &&
+             toks[stmt_begin - 1].text != "{" &&
+             toks[stmt_begin - 1].text != "}") {
+        --stmt_begin;
+      }
+      size_t stmt_end = i;
+      while (stmt_end < toks.size() && toks[stmt_end].text != ";" &&
+             toks[stmt_end].text != "{") {
+        ++stmt_end;
+      }
+      for (size_t j = stmt_begin; j < stmt_end; ++j) {
+        if (toks[j].kind == Token::kIdent &&
+            (decls.mapped.count(toks[j].text) > 0 ||
+             decls.byte_ptrs.count(toks[j].text) > 0)) {
+          report(tok.line, "flat-escape",
+                 "reinterpret_cast over mapped-file memory ('" +
+                     toks[j].text +
+                     "'); raw reinterpretation of MmapFile/SlabRef bytes "
+                     "belongs inside FlatArenaReader's bounds-checked "
+                     "accessors (common/flat_arena.h)");
+          break;
+        }
+      }
+    }
+
+    // --- flat-escape: pointer arithmetic on byte views ----------------------
+    if (!arena_file && tok.kind == Token::kIdent &&
+        decls.byte_ptrs.count(tok.text) > 0 && IsAccessRoot(toks, i) &&
+        i + 1 < toks.size() &&
+        (toks[i + 1].text == "+" || toks[i + 1].text == "-")) {
+      report(tok.line, "flat-escape",
+             "pointer arithmetic on '" + tok.text +
+                 "', a std::byte view of mapped memory; offsets into a flat "
+                 "arena are SlabRefs resolved by FlatArenaReader, not hand "
+                 "arithmetic");
+    }
+
+    // --- thread-capture ------------------------------------------------------
+    // A lambda submitted to the pool: Run([...]...) / Enqueue([...]...).
+    if (tok.kind != Token::kIdent ||
+        (tok.text != "Run" && tok.text != "Enqueue") || i + 2 >= toks.size() ||
+        toks[i + 1].text != "(" || toks[i + 2].text != "[") {
+      continue;
+    }
+    const size_t cap_open = i + 2;
+    const size_t cap_close = MatchingClose(toks, cap_open);
+    if (cap_close >= toks.size()) continue;
+
+    // Parse the capture list into by-ref names / by-value names / defaults.
+    bool default_ref = false;
+    std::set<std::string> by_ref;
+    std::set<std::string> by_val;
+    {
+      size_t item_begin = cap_open + 1;
+      int depth = 0;
+      for (size_t j = cap_open + 1; j <= cap_close; ++j) {
+        const std::string& t = toks[j].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+        if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+        const bool item_end =
+            j == cap_close || (depth == 0 && toks[j].text == ",");
+        if (!item_end) continue;
+        if (item_begin < j) {
+          const Token& first = toks[item_begin];
+          if (first.text == "&" && item_begin + 1 < j &&
+              toks[item_begin + 1].kind == Token::kIdent) {
+            by_ref.insert(toks[item_begin + 1].text);
+          } else if (first.text == "&" && item_begin + 1 == j) {
+            default_ref = true;
+          } else if (first.kind == Token::kIdent && first.text != "this") {
+            by_val.insert(first.text);
+          }
+        }
+        item_begin = j + 1;
+      }
+    }
+    if (by_ref.empty() && !default_ref) continue;
+
+    // Lambda parameters and the body.
+    std::set<std::string> locals;
+    size_t j = cap_close + 1;
+    if (j < toks.size() && toks[j].text == "(") {
+      const size_t params_close = MatchingClose(toks, j);
+      for (size_t k = j + 1; k < params_close && k < toks.size(); ++k) {
+        if (toks[k].kind == Token::kIdent) locals.insert(toks[k].text);
+      }
+      j = params_close + 1;
+    }
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text != "{") continue;
+    const size_t body_open = j;
+    const size_t body_close = MatchingClose(toks, body_open);
+
+    // A body that takes a lock is synchronizing on its own; the annotations
+    // (and TSan) judge whether the locking is right.
+    if (RangeContainsIdent(toks, body_open, body_close, "MutexLock")) {
+      continue;
+    }
+
+    // Body-local declarations (heuristic: `Type name`, `auto name`,
+    // `Type& name`). Only consulted for a default [&] capture, where every
+    // non-local write target is suspect.
+    static const std::set<std::string> kNotTypes = {
+        "return", "co_return", "delete", "throw",  "case", "goto",
+        "new",    "else",      "do",     "break",  "continue"};
+    for (size_t k = body_open + 1; k < body_close && k < toks.size(); ++k) {
+      if (toks[k].kind != Token::kIdent) continue;
+      const Token& prev = toks[k - 1];
+      const bool after_type =
+          prev.kind == Token::kIdent && kNotTypes.count(prev.text) == 0;
+      const bool after_ref_of_type =
+          (prev.text == "&" || prev.text == "*") && k >= 2 &&
+          toks[k - 2].kind == Token::kIdent &&
+          kNotTypes.count(toks[k - 2].text) == 0;
+      if (after_type || after_ref_of_type) locals.insert(toks[k].text);
+    }
+
+    std::set<std::string> reported;
+    for (size_t k = body_open + 1; k < body_close && k < toks.size(); ++k) {
+      if (toks[k].kind != Token::kIdent) continue;
+      const std::string& name = toks[k].text;
+      if (reported.count(name) > 0) continue;
+      if (!IsAccessRoot(toks, k)) continue;
+      const bool candidate =
+          by_ref.count(name) > 0 ||
+          (default_ref && locals.count(name) == 0 &&
+           by_val.count(name) == 0 && name != "this");
+      if (!candidate || !IsWrite(toks, k, body_close)) continue;
+      reported.insert(name);
+      report(toks[k].line, "thread-capture",
+             "'" + name +
+                 "' is captured by reference into a ThreadPool/TaskGroup "
+                 "task and written without synchronization; shared task "
+                 "state must be disjoint per task (pre-sized slots), "
+                 "guarded by an annotated Mutex, or allowlisted with a "
+                 "safety argument");
+    }
+  }
 }
 
 }  // namespace
@@ -504,6 +935,9 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
              "following sort; hash order is seeded per process");
     }
   }
+
+  // --- v2 rule pack: concurrency + flat-slab escapes -----------------------
+  LintConcurrencyAndFlat(path, toks, report);
 
   // --- function-structure pass: archive-symmetry + ops-budget --------------
   // One walk detects function definitions. For Save/Load definitions it
@@ -808,7 +1242,8 @@ bool Linter::LintTree(const std::string& dir) {
       }
       continue;
     }
-    if (EndsWith(name, ".h") || EndsWith(name, ".cc")) {
+    if (EndsWith(name, ".h") || EndsWith(name, ".cc") ||
+        EndsWith(name, ".cpp")) {
       files.push_back(p.generic_string());
     }
   }

@@ -2,12 +2,16 @@
 //
 // kwsc-lint: the project-specific static analyzer.
 //
-// A token-level source scanner enforcing the repo rules clang-tidy cannot
-// express — the rules are about *kwsc's* contracts (deterministic queries,
-// symmetric archives, budgeted candidate enumeration), not general C++
-// hygiene. The scanner deliberately stays lexical: no LLVM dependency, no
-// compile database, millisecond runs, and the rules are written against the
-// codebase's uniform idiom (which PR 2's format/tidy gates keep uniform).
+// A source scanner enforcing the repo rules clang-tidy cannot express — the
+// rules are about *kwsc's* contracts (deterministic queries, symmetric
+// archives, budgeted candidate enumeration, the threading model), not
+// general C++ hygiene. The scanner deliberately stays lexical: no LLVM
+// dependency, no compile database, millisecond runs, and the rules are
+// written against the codebase's uniform idiom (which PR 2's format/tidy
+// gates keep uniform). v2 runs in two passes — a declarations pass builds a
+// lightweight semantic model of each file (what names are Mutexes, which
+// identifiers hold mapped memory, what the annotations guard), and the rules
+// then judge *uses* against those declarations instead of single tokens.
 //
 // Rules (ids as emitted in findings, `file:line: rule-id: message`):
 //   determinism-clock  — no std::rand/srand/time()/clock()/steady_clock/...
@@ -32,6 +36,37 @@
 //       (src/core/orp_kw.h -> KWSC_CORE_ORP_KW_H_).
 //   using-namespace    — no `using namespace` in headers.
 //   copyright          — every source file opens with the copyright line.
+//
+// Concurrency rule pack (scoped to paths containing src/; the annotated
+// vocabulary lives in common/mutex.h + common/thread_annotations.h, which
+// are exempt):
+//   thread-capture     — a lambda submitted to ThreadPool/TaskGroup
+//       (Run/Enqueue) that captures by reference and writes the captured
+//       object (assignment, ++/--, mutating method) without taking a
+//       MutexLock. Elementwise writes (`slots[i] = ...`) are the sanctioned
+//       disjoint-sharing idiom and do not fire.
+//   concurrency-static-state — in src/core/ and src/common/, `static`
+//       object declarations that are not const/constexpr, std::atomic,
+//       thread_local, a Mutex, or KWSC_GUARDED_BY-annotated: silent
+//       cross-thread shared state.
+//   concurrency-raw-thread — std::thread/jthread, pthread_*, or detach()
+//       outside common/thread_pool.*; all parallelism is fork/join on the
+//       audited pool.
+//   concurrency-raw-mutex — raw std synchronization types (mutex,
+//       lock_guard, condition_variable, ...) outside common/mutex.h; locks
+//       the annotations cannot see are locks the analysis cannot check.
+//   concurrency-unguarded-mutex — a `Mutex name_;` member never named by
+//       any KWSC_* annotation argument: a lock with no stated discipline.
+//
+// Flat-slab escape analysis (the mmap v2 format; common/flat_arena.* is
+// the one place allowed to touch raw bytes):
+//   flat-escape        — reinterpret_cast in a statement involving an
+//       MmapFile/SlabRef/FlatArenaReader-typed identifier, or pointer
+//       arithmetic on a std::byte* view; mapped bytes are read through
+//       FlatArenaReader's bounds-checked accessors only.
+//   flat-retain        — a member-shaped declaration (trailing '_') of type
+//       FlatArenaReader or std::byte*: a retained view that can outlive the
+//       mapping it points into. Store the MmapFile and re-derive.
 //
 // Suppression, most-specific first: an inline `kwsc-lint: allow(rule-id)`
 // comment on the finding's line or the line above; an allowlist entry
@@ -88,8 +123,9 @@ class Linter {
   /// Reads and lints one file from disk. Returns false if unreadable.
   bool LintFile(const std::string& path);
 
-  /// Recursively lints every .h/.cc under `dir`, skipping lint_fixtures/
-  /// (seeded-violation corpora) and hidden/build directories.
+  /// Recursively lints every .h/.cc/.cpp under `dir`, skipping
+  /// lint_fixtures/ (seeded-violation corpora), negative_compile/, and
+  /// hidden/build directories.
   /// Paths are reported relative to the current working directory.
   bool LintTree(const std::string& dir);
 

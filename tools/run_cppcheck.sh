@@ -4,11 +4,10 @@
 #
 # Usage: tools/run_cppcheck.sh
 #
-# Warn-first: the CI job that runs this is continue-on-error while the
-# finding set is burned down; flip it to blocking once tools/
-# cppcheck-suppressions.txt has stabilized. Like run_tidy.sh, an absent tool
-# degrades to a no-op with a warning (developer containers ship only gcc).
-set -u
+# Blocking: the warn-first burn-down is done and the CI job fails on any
+# finding. Like run_tidy.sh, an absent tool degrades to a no-op with a
+# warning (developer containers ship only gcc; CI installs the real tool).
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 

@@ -6,9 +6,9 @@
 # Unlike run_tidy.sh, this gate never degrades to a no-op: kwsc_lint is built
 # from this repo with the same toolchain as everything else, so it is always
 # available. The script builds the kwsc_lint target if the build directory is
-# configured, then scans src/ bench/ tests/ under tools/lint_allowlist.txt.
-# Any finding fails the run.
-set -u
+# configured, then scans src/ bench/ tests/ examples/ under
+# tools/lint_allowlist.txt. Any finding fails the run.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -26,7 +26,7 @@ if ! cmake --build "$BUILD_DIR" --target kwsc_lint -j >/dev/null; then
   exit 1
 fi
 
-if "$BIN" --allowlist tools/lint_allowlist.txt src bench tests; then
+if "$BIN" --allowlist tools/lint_allowlist.txt src bench tests examples; then
   echo "run_lint.sh: OK"
 else
   echo "run_lint.sh: FAILED — kwsc-lint findings above (fix the code, add an" >&2

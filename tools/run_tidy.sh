@@ -11,7 +11,7 @@
 # When clang-tidy is not installed the gate degrades to a no-op with a
 # warning instead of failing: developer containers ship only gcc; CI installs
 # the real tool and is where the gate has teeth.
-set -u
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -48,6 +48,14 @@ fi
 mapfile -t FILES < <(find src tests bench examples \
   \( -path 'tests/lint_fixtures' -o -path 'tests/negative_compile' \) \
   -prune -o -name '*.cc' -print | sort)
+
+# mapfile over a process substitution swallows find's exit status; an empty
+# list is the observable symptom of that failure (or of running from the
+# wrong directory) and must not pass as "0 files, 0 findings".
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_tidy.sh: FAILED — file discovery returned nothing." >&2
+  exit 1
+fi
 
 echo "run_tidy.sh: linting ${#FILES[@]} translation units..."
 STATUS=0
