@@ -12,6 +12,18 @@
 // object is rebuilt O(log n) times, so insertion costs O(polylog n)
 // amortized index-build work, and a query fans out to the buffer plus
 // O(log n) static indexes — multiplying the static query bound by O(log n).
+//
+// Storage: every inserted object lives exactly once in the global registry
+// (all_docs_/all_points_, indexed by insertion id). The buffer is just the
+// id list buffer_ids_ pointing into that registry, and each static level
+// keeps the copies its OrpKwIndex needs; MemoryBytes() charges the registry
+// once plus the per-level copies.
+//
+// Budgeted queries (footnote 4): Query takes an optional OpsBudget shared
+// across the buffer scan and every level. Budgeted termination is global —
+// once any component exhausts the budget, the remaining levels are not
+// visited at all (the fan-out short-circuits, mirroring the static index's
+// early return).
 
 #ifndef KWSC_CORE_DYNAMIC_ORP_KW_H_
 #define KWSC_CORE_DYNAMIC_ORP_KW_H_
@@ -21,6 +33,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/ops_budget.h"
 #include "core/framework.h"
 #include "core/orp_kw.h"
 #include "geom/box.h"
@@ -48,9 +61,7 @@ class DynamicOrpKwIndex {
     KWSC_CHECK_MSG(!doc.empty(), "objects need non-empty documents");
     const ObjectId id = static_cast<ObjectId>(num_objects_++);
     buffer_ids_.push_back(id);
-    buffer_points_.push_back(point);
-    buffer_docs_.push_back(std::move(doc));
-    all_docs_.push_back(buffer_docs_.back());
+    all_docs_.push_back(std::move(doc));
     all_points_.push_back(point);
     if (buffer_ids_.size() >= buffer_capacity_) Carry();
     return id;
@@ -68,22 +79,33 @@ class DynamicOrpKwIndex {
   }
 
   /// Reports q ∩ D(w1,...,wk) over everything inserted so far, as global
-  /// insertion-order ids.
+  /// insertion-order ids. `budget`, when non-null, caps the work across the
+  /// whole decomposition: the buffer scan and every level charge the same
+  /// budget, and the first component to exhaust it ends the query — no
+  /// further level is visited (stats->budget_exhausted reports the cut).
   std::vector<ObjectId> Query(const BoxType& q,
                               std::span<const KeywordId> keywords,
-                              QueryStats* stats = nullptr) const {
+                              QueryStats* stats = nullptr,
+                              OpsBudget* budget = nullptr) const {
     const std::vector<KeywordId> sorted =
         CanonicalizeQueryKeywords(keywords, options_.k);
+    OpsBudget unlimited;
+    if (budget == nullptr) budget = &unlimited;
     std::vector<ObjectId> out;
     // Buffer: brute scan (it holds O(1) objects by construction).
-    for (size_t i = 0; i < buffer_ids_.size(); ++i) {
+    for (ObjectId id : buffer_ids_) {
+      if (!budget->Charge()) {
+        if (stats != nullptr) stats->budget_exhausted = true;
+        return out;
+      }
       if (stats != nullptr) ++stats->pivot_checks;
-      if (q.Contains(buffer_points_[i]) &&
-          buffer_docs_[i].ContainsAll(sorted.data(), sorted.size())) {
-        out.push_back(buffer_ids_[i]);
+      if (q.Contains(all_points_[id]) &&
+          all_docs_[id].ContainsAll(sorted.data(), sorted.size())) {
+        out.push_back(id);
       }
     }
-    // Static levels: delegate and translate local ids.
+    // Static levels: delegate and translate local ids. Budgeted termination
+    // is global, not per level: an exhausted budget stops the fan-out.
     for (const auto& level : levels_) {
       if (level == nullptr) continue;
       level->index->QueryEmit(
@@ -92,15 +114,17 @@ class DynamicOrpKwIndex {
             out.push_back(level->id_map[local]);
             return true;
           },
-          stats);
+          stats, budget);
+      if (budget->Exhausted()) {
+        if (stats != nullptr) stats->budget_exhausted = true;
+        break;
+      }
     }
     return out;
   }
 
   size_t MemoryBytes() const {
-    size_t total = VectorBytes(buffer_ids_) + VectorBytes(buffer_points_) +
-                   VectorBytes(all_points_);
-    for (const Document& d : buffer_docs_) total += d.MemoryBytes();
+    size_t total = VectorBytes(buffer_ids_) + VectorBytes(all_points_);
     for (const Document& d : all_docs_) total += d.MemoryBytes();
     for (const auto& level : levels_) {
       if (level == nullptr) continue;
@@ -122,11 +146,15 @@ class DynamicOrpKwIndex {
   // level, rebuild them into the first empty slot.
   void Carry() {
     std::vector<ObjectId> ids = std::move(buffer_ids_);
-    std::vector<PointType> points = std::move(buffer_points_);
-    std::vector<Document> docs = std::move(buffer_docs_);
     buffer_ids_.clear();
-    buffer_points_.clear();
-    buffer_docs_.clear();
+    std::vector<PointType> points;
+    std::vector<Document> docs;
+    points.reserve(ids.size());
+    docs.reserve(ids.size());
+    for (ObjectId id : ids) {
+      points.push_back(all_points_[id]);
+      docs.push_back(all_docs_[id]);
+    }
 
     size_t slot = 0;
     while (slot < levels_.size() && levels_[slot] != nullptr) {
@@ -155,12 +183,12 @@ class DynamicOrpKwIndex {
   size_t buffer_capacity_;
   size_t num_objects_ = 0;
 
+  // Buffered objects, as ids into the global registry below (the buffer owns
+  // no copies of its own — see the storage note in the file header).
   std::vector<ObjectId> buffer_ids_;
-  std::vector<PointType> buffer_points_;
-  std::vector<Document> buffer_docs_;
 
-  // Global object registry (documents/points by insertion id), used when
-  // levels are merged; Document copies in levels are rebuilt from here.
+  // Global object registry (documents/points by insertion id). The buffer
+  // scan reads it directly; Document copies in levels are rebuilt from here.
   std::vector<Document> all_docs_;
   std::vector<PointType> all_points_;
 

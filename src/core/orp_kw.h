@@ -525,8 +525,11 @@ class OrpKwIndex {
     if (n <= static_cast<size_t>(options_.leaf_objects)) {
       // Leaf pivots keep the order the recursive caller partitioned them in:
       // the parent's split-dimension view. (level >= 1 here — a root-sized
-      // leaf is handled in Build.)
-      builder->BuildLeaf(active->by_dim[(level - 1) % D], &(*arena)[index].dir);
+      // leaf is handled in Build; the + D keeps the modulus in range even on
+      // that unreachable path, which GCC's array-bounds analysis otherwise
+      // flags when this call is inlined into Build with level = 0.)
+      builder->BuildLeaf(active->by_dim[((level - 1) % D + D) % D],
+                         &(*arena)[index].dir);
       return index;
     }
 

@@ -122,7 +122,15 @@ class QueryEngine {
     BatchResult out;
     out.trace.enabled = trace_enabled_;
     out.rows.resize(queries.size());
-    if (queries.empty()) return out;
+    if (queries.empty()) {
+      // An empty batch is still a batch: engine.batches must count every Run
+      // call or the batches/queries ratio in the registry skews.
+      if (registry_ != nullptr) {
+        registry_->AddCounter("engine.batches", 1);
+        registry_->AddCounter("engine.queries", 0);
+      }
+      return out;
+    }
     WallTimer run_timer;
     const size_t shards =
         std::min(static_cast<size_t>(num_threads_), queries.size());

@@ -1,0 +1,164 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+
+#include "serve/merge.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/macros.h"
+
+namespace kwsc {
+
+namespace {
+
+/// The fixed local ranks a shard samples: kMergeSampleKeys evenly spaced
+/// positions including both ends (fewer when the list is short). Both sides
+/// of the protocol derive the same positions from the count alone, so the
+/// ranks ride along with the summary for free.
+std::vector<size_t> SamplePositions(size_t n) {
+  std::vector<size_t> pos;
+  if (n == 0) return pos;
+  if (n <= kMergeSampleKeys) {
+    for (size_t i = 0; i < n; ++i) pos.push_back(i);
+    return pos;
+  }
+  for (uint64_t j = 0; j < kMergeSampleKeys; ++j) {
+    const size_t p = static_cast<size_t>(j * (n - 1) / (kMergeSampleKeys - 1));
+    if (pos.empty() || pos.back() != p) pos.push_back(p);
+  }
+  return pos;
+}
+
+/// Candidates in `row` with id <= theta (the shard-side prefix count).
+size_t PrefixCount(const std::vector<ObjectId>& row, ObjectId theta) {
+  return static_cast<size_t>(
+      std::upper_bound(row.begin(), row.end(), theta) - row.begin());
+}
+
+}  // namespace
+
+uint64_t NaiveShipBytes(
+    const std::vector<const std::vector<ObjectId>*>& shard_rows) {
+  uint64_t bytes = 0;
+  for (const auto* row : shard_rows) {
+    bytes += kShardMessageHeaderBytes + kCandidateBytes * row->size();
+  }
+  return bytes;
+}
+
+std::vector<ObjectId> MergeAllRows(
+    const std::vector<const std::vector<ObjectId>*>& shard_rows) {
+  // Disjoint sorted runs: concatenate in any order, then one sort pass would
+  // do, but successive std::inplace_merge keeps it linear-ish and stable for
+  // the handful of shards a coordinator runs.
+  std::vector<ObjectId> out;
+  size_t total = 0;
+  for (const auto* row : shard_rows) total += row->size();
+  out.reserve(total);
+  for (const auto* row : shard_rows) {
+    const auto middle = out.insert(out.end(), row->begin(), row->end());
+    std::inplace_merge(out.begin(), middle, out.end());
+  }
+  return out;
+}
+
+std::vector<ObjectId> SelectTopT(
+    const std::vector<const std::vector<ObjectId>*>& shard_rows, uint64_t t,
+    MergeByteCounters* bytes) {
+  KWSC_CHECK_MSG(t >= 1, "top-t selection needs t >= 1 (use MergeAllRows)");
+  const size_t num_shards = shard_rows.size();
+  const uint64_t naive = NaiveShipBytes(shard_rows);
+  bytes->naive += naive;
+
+  // Round 1: summaries. Count plus sampled keys per shard.
+  std::vector<std::vector<size_t>> sample_pos(num_shards);
+  uint64_t total = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    sample_pos[s] = SamplePositions(shard_rows[s]->size());
+    total += shard_rows[s]->size();
+    bytes->selection +=
+        kShardMessageHeaderBytes + kCandidateBytes * sample_pos[s].size();
+  }
+  bytes->selection_rounds += 1;
+
+  if (total <= t) {
+    // The counts alone prove everything is needed; gather in full.
+    bytes->selection += naive;
+    bytes->selection_rounds += 1;
+    return MergeAllRows(shard_rows);
+  }
+
+  // Pick θ* = the smallest sampled key whose guaranteed global rank reaches
+  // t. A sample at local rank r proves its shard holds r + 1 candidates
+  // <= that key, so walking the merged samples in ascending key order and
+  // summing the per-shard proofs gives a monotone lower bound LB(θ); the
+  // last sample of each non-empty shard is its maximum, so LB reaches
+  // `total` > t and θ* exists.
+  struct Sample {
+    ObjectId key;
+    uint32_t shard;
+    uint64_t rank;
+  };
+  std::vector<Sample> samples;
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t p : sample_pos[s]) {
+      samples.push_back({(*shard_rows[s])[p], static_cast<uint32_t>(s),
+                         static_cast<uint64_t>(p)});
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.key < b.key; });
+  std::vector<uint64_t> proven(num_shards, 0);
+  uint64_t lower_bound = 0;
+  ObjectId theta = samples.back().key;
+  for (const Sample& sample : samples) {
+    lower_bound += sample.rank + 1 - proven[sample.shard];
+    proven[sample.shard] = sample.rank + 1;
+    if (lower_bound >= t) {
+      theta = sample.key;
+      break;
+    }
+  }
+
+  // Cost check, still on summary data only: the shards' prefix sizes at θ*
+  // are bounded above by the rank of their first sample beyond it, so the
+  // coordinator can price the threshold round before paying for it and fall
+  // back to a full gather when the candidate sets are too small to split.
+  uint64_t threshold_cost = kCandidateBytes * num_shards;  // θ* broadcast.
+  for (size_t s = 0; s < num_shards; ++s) {
+    uint64_t upper = shard_rows[s]->size();
+    for (size_t p : sample_pos[s]) {
+      if ((*shard_rows[s])[p] > theta) {
+        upper = p;
+        break;
+      }
+    }
+    threshold_cost += kShardMessageHeaderBytes + kCandidateBytes * upper;
+  }
+  if (naive <= threshold_cost) {
+    bytes->selection += naive;
+    bytes->selection_rounds += 1;
+    std::vector<ObjectId> merged = MergeAllRows(shard_rows);
+    merged.resize(t);
+    return merged;
+  }
+
+  // Round 2: broadcast θ*, gather per-shard prefixes, keep the first t.
+  bytes->selection += kCandidateBytes * num_shards;
+  std::vector<std::vector<ObjectId>> prefixes(num_shards);
+  std::vector<const std::vector<ObjectId>*> prefix_ptrs(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t count = PrefixCount(*shard_rows[s], theta);
+    prefixes[s].assign(shard_rows[s]->begin(),
+                       shard_rows[s]->begin() + count);
+    prefix_ptrs[s] = &prefixes[s];
+    bytes->selection += kShardMessageHeaderBytes + kCandidateBytes * count;
+  }
+  bytes->selection_rounds += 1;
+  std::vector<ObjectId> merged = MergeAllRows(prefix_ptrs);
+  KWSC_CHECK(merged.size() >= t);
+  merged.resize(t);
+  return merged;
+}
+
+}  // namespace kwsc

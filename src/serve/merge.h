@@ -1,0 +1,77 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Scatter-gather merge protocols (DESIGN.md §6c).
+//
+// After a batch is fanned out, each shard holds a sorted list of global ids
+// answering each query; the coordinator must assemble the global answer.
+// Shards are disjoint by construction (serve/shard_router.h), so assembling
+// is a merge of sorted runs — the question is how many bytes cross the
+// coordinator↔shard boundary. Two protocols, both exact:
+//
+//   * Naive gather — every shard ships its full candidate list. Baseline;
+//     bytes grow with the total candidate count regardless of how much of
+//     it the caller wants.
+//   * Threshold selection (top-t) — shards first ship constant-size
+//     summaries (candidate count plus B sample keys at fixed local ranks,
+//     whose exact ranks the coordinator knows for free from their
+//     positions). The coordinator picks the smallest sampled threshold θ*
+//     whose guaranteed global rank reaches t, broadcasts it, and shards
+//     ship only their prefix of candidates ≤ θ*. That prefix contains the
+//     global top-t and overshoots by at most S·⌈n_s/(B-1)⌉ — the classic
+//     two-round distributed-selection shape, bytes O(S·B + t + S·n/B)
+//     instead of O(Σ n_s). A cost check on the summaries falls back to
+//     shipping everything when the candidate sets are too small for the
+//     threshold round to pay for itself, so selection never ships more
+//     than naive plus the summaries.
+//
+// Everything here is a pure function of the per-shard candidate lists, so
+// merged results are byte-identical to sorting the unsharded engine's rows
+// (tests/serve_test.cc pins that, and the protocols are simulated in-process
+// — the byte counters model the wire cost of the process-per-shard
+// deployment).
+
+#ifndef KWSC_SERVE_MERGE_H_
+#define KWSC_SERVE_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/document.h"
+
+namespace kwsc {
+
+/// Wire-cost model: each shard→coordinator message pays a fixed header, each
+/// candidate id is 4 bytes, a summary is the count plus up to
+/// kMergeSampleKeys sampled ids, and the θ* broadcast is one id per shard.
+inline constexpr uint64_t kShardMessageHeaderBytes = 8;
+inline constexpr uint64_t kCandidateBytes = sizeof(ObjectId);
+inline constexpr uint64_t kMergeSampleKeys = 8;
+
+/// Bytes-exchanged accounting for one or more merged queries. `naive` is
+/// always the full-gather cost; `selection` is what the selection protocol
+/// actually paid (equal to naive plus summaries when it fell back).
+struct MergeByteCounters {
+  uint64_t naive = 0;
+  uint64_t selection = 0;
+  /// Coordinator<->shard round trips beyond the initial scatter.
+  uint64_t selection_rounds = 0;
+};
+
+/// The wire cost of shipping every candidate list in full.
+uint64_t NaiveShipBytes(
+    const std::vector<const std::vector<ObjectId>*>& shard_rows);
+
+/// Merges disjoint sorted per-shard rows into one ascending list.
+std::vector<ObjectId> MergeAllRows(
+    const std::vector<const std::vector<ObjectId>*>& shard_rows);
+
+/// Exact top-t (t >= 1, smallest t ids) via the threshold-selection
+/// protocol. Each input row must be sorted ascending; rows are disjoint.
+/// Adds this query's naive and selection costs to `bytes`.
+std::vector<ObjectId> SelectTopT(
+    const std::vector<const std::vector<ObjectId>*>& shard_rows, uint64_t t,
+    MergeByteCounters* bytes);
+
+}  // namespace kwsc
+
+#endif  // KWSC_SERVE_MERGE_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Shard routing: partitioning the verbose set across S shared-nothing
+// replicas (DESIGN.md §6).
+//
+// A ShardPlan is a total, disjoint assignment of objects to shards —
+// every object lives on exactly one shard, so a scatter-gather over all
+// shards reports exactly the unsharded answer and the merge never needs to
+// deduplicate. Two strategies, both deterministic functions of the corpus
+// (and, for the space strategy, of the caller-chosen axis keys):
+//
+//   * kSpacePartitioned — sort objects by an axis key and cut the sequence
+//     with the Section-4 balanced-cut machinery (core/balanced_cut.h), so
+//     every shard's verbose-set weight is at most total/S plus one promoted
+//     separator. Queries with spatial locality touch few shards' data, and
+//     the weight bound caps the worst shard's index size.
+//   * kKeywordPartitioned — assign each object to the shard owning its
+//     dominant (most frequent) keyword, keyword groups placed by greedy
+//     longest-processing-time packing over verbose-set weight. This
+//     co-locates objects sharing hot keywords (the CAS-style layout), at
+//     the cost of skew when one keyword dominates the corpus — the serve
+//     bench measures exactly that trade.
+//
+// The router only plans; building the per-shard indexes and running queries
+// is serve/shard_replica.h and serve/coordinator.h.
+
+#ifndef KWSC_SERVE_SHARD_ROUTER_H_
+#define KWSC_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace kwsc {
+
+enum class ShardStrategy {
+  kSpacePartitioned,
+  kKeywordPartitioned,
+};
+
+/// A total disjoint assignment of the corpus across `num_shards` shards.
+struct ShardPlan {
+  ShardStrategy strategy = ShardStrategy::kSpacePartitioned;
+  uint32_t num_shards = 1;
+
+  /// Object id -> owning shard, one entry per corpus object.
+  std::vector<uint32_t> shard_of;
+
+  /// Per-shard member lists in ascending global-id order (the order the
+  /// replica builds its local index in, so local ids are monotone in global
+  /// ids). Always exactly num_shards entries; shards may be empty.
+  std::vector<std::vector<ObjectId>> members;
+
+  /// Per-shard verbose-set weight (sum of member document sizes).
+  std::vector<uint64_t> shard_weight;
+};
+
+/// Plans partitions. Stateless apart from the strategy and shard count; the
+/// same inputs always produce the same plan (the determinism contract the
+/// coordinator's byte-identity guarantee rests on).
+class ShardRouter {
+ public:
+  ShardRouter(ShardStrategy strategy, uint32_t num_shards);
+
+  ShardStrategy strategy() const { return strategy_; }
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Builds the assignment for `corpus`. `axis_keys` holds one sort key per
+  /// object (the caller's choice of coordinate — typically the first point
+  /// coordinate); the keyword strategy ignores it and may be passed empty.
+  ShardPlan Plan(const Corpus& corpus,
+                 std::span<const double> axis_keys = {}) const;
+
+ private:
+  ShardPlan PlanSpace(const Corpus& corpus,
+                      std::span<const double> axis_keys) const;
+  ShardPlan PlanKeyword(const Corpus& corpus) const;
+
+  ShardStrategy strategy_;
+  uint32_t num_shards_;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_SERVE_SHARD_ROUTER_H_

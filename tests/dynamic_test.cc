@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/random.h"
 #include "core/dynamic_orp_kw.h"
@@ -91,6 +92,59 @@ TEST(DynamicOrpKw, QueryBeforeAnyCarryUsesBufferOnly) {
   std::vector<KeywordId> kws = {1, 2};
   auto got = dynamic.Query({{{0, 0}}, {{1, 1}}}, kws);
   EXPECT_EQ(got, (std::vector<ObjectId>{0}));
+}
+
+TEST(DynamicOrpKw, MemoryBytesCountsBufferedObjectsOnce) {
+  // Regression: buffered objects used to be held (and charged) twice — once
+  // in the buffer's own copies, once in the global registry. Inserting one
+  // object with a large document into an empty buffer must grow the
+  // footprint by about the document's bytes, not twice that.
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/8);
+  Rng rng(641);
+  for (int i = 0; i < 8; ++i) {  // Fill to exactly one carry: empty buffer.
+    dynamic.Insert({{rng.NextDouble(), rng.NextDouble()}},
+                   Document{static_cast<KeywordId>(i), 100});
+  }
+  const size_t before = dynamic.MemoryBytes();
+  std::vector<KeywordId> big(10000);
+  std::iota(big.begin(), big.end(), 0);
+  dynamic.Insert({{0.5, 0.5}}, Document(std::move(big)));
+  const size_t doc_bytes = 10000 * sizeof(KeywordId);
+  const size_t delta = dynamic.MemoryBytes() - before;
+  EXPECT_GE(delta, doc_bytes);
+  EXPECT_LT(delta, doc_bytes + doc_bytes / 2);  // Double-counting => ~2x.
+}
+
+TEST(DynamicOrpKw, ExhaustedBudgetStopsLevelFanOut) {
+  // Budgeted termination is global across the decomposition: with >= 2
+  // active levels and a budget only one node-visit deep, the first level
+  // exhausts it and the fan-out must stop there instead of restarting the
+  // budget-free walk on every remaining level.
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/4);
+  Rng rng(643);
+  for (int i = 0; i < 20; ++i) {  // 5 carries = binary 101: two levels.
+    dynamic.Insert({{rng.NextDouble(), rng.NextDouble()}},
+                   Document{static_cast<KeywordId>(i % 5),
+                            static_cast<KeywordId>(5 + i % 3)});
+  }
+  ASSERT_GE(dynamic.ActiveLevels(), 2u);
+  Box<2> everywhere{{{0.0, 0.0}}, {{1.0, 1.0}}};
+  std::vector<KeywordId> kws = {0, 5};
+
+  QueryStats unbounded_stats;
+  dynamic.Query(everywhere, kws, &unbounded_stats);
+  ASSERT_GE(unbounded_stats.nodes_visited, 2u);  // One root per level.
+
+  QueryStats stats;
+  OpsBudget budget(1);
+  dynamic.Query(everywhere, kws, &stats, &budget);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(stats.nodes_visited, 1u);  // Second level's root never visited.
 }
 
 TEST(DynamicOrpKwDeath, EmptyDocumentRejected) {

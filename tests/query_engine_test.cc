@@ -229,6 +229,83 @@ TEST(QueryEngine, RegistryAccumulatesAcrossRuns) {
             20u);
 }
 
+TEST(QueryEngine, EmptyBatchStillCountsInRegistry) {
+  // Regression: the empty-batch early return used to skip the registry
+  // update entirely, so engine.batches undercounted relative to Run calls.
+  Rng rng(8212);
+  CorpusSpec spec;
+  spec.num_objects = 64;
+  spec.vocab_size = 30;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(64, PointDistribution::kUniform, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  obs::MetricsRegistry registry;
+  QueryEngine<OrpKwIndex<2>> engine(&index, opt, &registry);
+  engine.Run({});
+  EXPECT_EQ(registry.CounterValue("engine.batches"), 1u);
+  EXPECT_EQ(registry.CounterValue("engine.queries"), 0u);
+
+  std::vector<BatchQuery<Box<2>>> batch;
+  for (int i = 0; i < 2; ++i) {
+    batch.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts), 0.25, &rng),
+         PickQueryKeywords(corpus, 2, KeywordPick::kFrequent, &rng)});
+  }
+  engine.Run(batch);
+  engine.Run({});
+  EXPECT_EQ(registry.CounterValue("engine.batches"), 3u);
+  EXPECT_EQ(registry.CounterValue("engine.queries"), 2u);
+}
+
+TEST(QueryEngine, ShardBoundaryMathEdgeCases) {
+  // RunShard's contiguous block partition [s*n/shards, (s+1)*n/shards):
+  // exercise n < threads, n == threads, and n == 1 and pin the exact
+  // per-query answers (every boundary bug shows up as a skipped or
+  // double-run query).
+  Rng rng(8213);
+  CorpusSpec spec;
+  spec.num_objects = 400;
+  spec.vocab_size = 50;
+  Corpus corpus = GenerateCorpus(spec, &rng);
+  auto pts = GeneratePoints<2>(400, PointDistribution::kClustered, &rng);
+  FrameworkOptions opt;
+  opt.k = 2;
+  OrpKwIndex<2> index(pts, &corpus, opt);
+
+  std::vector<BatchQuery<Box<2>>> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(
+        {GenerateBoxQuery(std::span<const Point<2>>(pts), 0.3, &rng),
+         PickQueryKeywords(corpus, 2, KeywordPick::kCooccurring, &rng)});
+  }
+  struct Case {
+    size_t batch_size;
+    int threads;
+  };
+  for (const Case c : {Case{3, 8}, Case{4, 4}, Case{1, 4}, Case{1, 1},
+                       Case{7, 4}}) {
+    const std::span<const BatchQuery<Box<2>>> batch(pool.data(),
+                                                    c.batch_size);
+    QueryEngine<OrpKwIndex<2>> engine(&index, c.threads);
+    const auto result = engine.Run(batch);
+    ASSERT_EQ(result.rows.size(), c.batch_size)
+        << "n=" << c.batch_size << " threads=" << c.threads;
+    ASSERT_EQ(result.latency.count(), c.batch_size);
+    // One shard per thread, capped at the batch size.
+    ASSERT_EQ(result.shard_wall_micros.size(),
+              std::min<size_t>(c.batch_size, c.threads));
+    for (size_t i = 0; i < c.batch_size; ++i) {
+      EXPECT_EQ(result.rows[i],
+                index.Query(batch[i].region, batch[i].keywords))
+          << "n=" << c.batch_size << " threads=" << c.threads << " query "
+          << i;
+    }
+  }
+}
+
 TEST(QueryEngine, EmptyBatch) {
   Rng rng(8202);
   CorpusSpec spec;

@@ -110,6 +110,37 @@ if doc["name"] == "load":
         if gauge not in doc["gauges"]:
             fail(f"load report missing gauge {gauge}")
 
+# bench_shard reports (name == "shard") carry the shared-nothing scaling
+# sweep; enforce the determinism flag, the scaling fields, and the
+# selection-vs-naive byte comparison the merge protocol claims.
+if doc["name"] == "shard":
+    scaling = [p for p in doc["points"] if "qps_model" in p]
+    if not scaling:
+        fail("shard report has no S-scaling points")
+    required = ("N", "S", "model_us", "qps_model", "speedup_model",
+                "top_t", "bytes_naive", "bytes_selection", "identical")
+    for i, point in enumerate(scaling):
+        for field in required:
+            if field not in point:
+                fail(f"scaling point {i} missing {field}")
+        if point["S"] is None or point["S"] < 1:
+            fail(f"scaling point {i}.S must be >= 1")
+        if point["identical"] != 1:
+            fail(f"scaling point {i} (S={point['S']}): sharded rows "
+                 "diverged from the unsharded engine")
+        if point["speedup_model"] is None or point["speedup_model"] <= 0:
+            fail(f"scaling point {i}.speedup_model must be positive")
+        if not point["bytes_selection"] < point["bytes_naive"]:
+            fail(f"scaling point {i} (S={point['S']}): selection merge "
+                 f"shipped {point['bytes_selection']} bytes, not strictly "
+                 f"fewer than naive {point['bytes_naive']}")
+    for counter in ("serve.bytes_shipped", "serve.bytes_naive",
+                    "serve.shard_fanout", "serve.queries"):
+        if counter not in doc["counters"]:
+            fail(f"shard report missing counter {counter}")
+    if "speedup_s4" not in doc["gauges"]:
+        fail("shard report missing gauge speedup_s4")
+
 print(f"{path}: OK "
       f"({len(doc['points'])} points, {len(doc['histograms'])} histograms, "
       f"{len(doc['counters'])} counters)")

@@ -952,7 +952,8 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
   std::vector<std::pair<std::string, size_t>> class_stack;
   std::string pending_class;
 
-  const bool budget_scope = path.find("core/") != std::string::npos;
+  const bool budget_scope = path.find("core/") != std::string::npos ||
+                            path.find("serve/") != std::string::npos;
 
   auto extract_ops = [&](size_t body_begin, size_t body_end) {
     std::vector<ArchiveOp> ops;

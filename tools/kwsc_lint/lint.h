@@ -28,7 +28,8 @@
 //       explicit template arguments and magic tags where both sides spell
 //       them. Catches field skew that byte-identity tests only find on
 //       exercised paths.
-//   ops-budget         — in core/ files, a range-for over ObjectId inside a
+//   ops-budget         — in core/ and serve/ files, a range-for over
+//       ObjectId inside a
 //       function taking an OpsBudget* must call Charge in its body (the
 //       footnote-4 manual-termination device); audited exceptions go into
 //       the allowlist file.
