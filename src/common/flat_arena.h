@@ -28,6 +28,7 @@
 #ifndef KWSC_COMMON_FLAT_ARENA_H_
 #define KWSC_COMMON_FLAT_ARENA_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -40,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/macros.h"
 
 namespace kwsc {
@@ -76,6 +78,14 @@ struct FlatHeader {
 static_assert(sizeof(FlatHeader) == kFlatAlignment,
               "FlatHeader must fill exactly one alignment quantum");
 static_assert(std::is_trivially_copyable_v<FlatHeader>);
+KWSC_ABI_STRUCT(SlabRef);
+KWSC_ABI_STRUCT(FlatHeader);
+
+// The KWF2 container is host-endian on disk and defined as little-endian
+// (common/abi.h asserts the host); a mapped FlatHeader is reinterpreted in
+// place, so there is no byte-swapping seam to add one later.
+static_assert(std::endian::native == std::endian::little,
+              "FlatHeader and every slab are mapped back without swapping");
 
 /// Receives human-readable structural complaints from flat-layout
 /// validation. Load paths pass an aborting sink (KWSC_CHECK semantics); the

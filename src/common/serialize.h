@@ -12,6 +12,7 @@
 #ifndef KWSC_COMMON_SERIALIZE_H_
 #define KWSC_COMMON_SERIALIZE_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <istream>
@@ -25,6 +26,13 @@
 #include "common/macros.h"
 
 namespace kwsc {
+
+// Pod/Vec write host bytes straight into the stream; the format's stated
+// little-endian layout is only true because the host is. Fail the build on
+// big-endian targets instead of writing archives other hosts cannot read.
+static_assert(std::endian::native == std::endian::little,
+              "v1 archives are little-endian on disk; this host would need "
+              "byte-swapping Pod/Vec shims");
 
 /// Buffered binary writer. Per-value ostream::write calls for Pod dominate
 /// save time on directory-heavy indexes (one virtual-dispatching write per

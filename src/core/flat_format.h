@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/flat_arena.h"
 #include "core/node_directory.h"
 #include "text/document.h"
@@ -64,6 +65,7 @@ struct FlatDirPools {
   SlabRef mat_entry_pool;  // FlatMatEntry
   SlabRef mat_obj_pool;    // ObjectId
 };
+KWSC_ABI_STRUCT(FlatDirPools);
 
 /// Accumulates directory contents across nodes during SaveFlat. Append one
 /// node at a time (in arena order), then emit the pools as slabs.

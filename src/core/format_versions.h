@@ -1,0 +1,79 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// The format-version table: one named constant per on-disk / wire format.
+//
+// This is the single declaration the ABI drift gate keys off (DESIGN.md
+// §5h). Every `kwsc-abi: format` annotation below declares one format:
+//
+//   /// kwsc-abi: format <key> [tags=TAG1,TAG2] files=<substr1,substr2>
+//
+// `key` names the format in FORMATS.lock; `tags` lists the 4-char magic /
+// family tags the covered files may spell (tools/kwsc_abi cross-checks
+// every Magic("...") literal and FlatFamilyTag('.','.','.','.') in a
+// covered file against this list); `files` is a comma-separated list of
+// repo-relative path substrings assigning source files to the format.
+// Every file contributing a manifest section (a registered struct or a
+// Save/Load op sequence) must be covered by exactly one format here —
+// tools/kwsc_abi refuses to emit a manifest otherwise.
+//
+// The workflow the abi-gate enforces: any change to a format's locked
+// layout (fields, offsets, op sequences, slab sequences) must land together
+// with a bump of that format's constant below, and regenerating
+// FORMATS.lock (tools/run_abi.sh --update) must be committed in the same
+// change. Versions only grow.
+//
+// v1 stream archives write their constant through Magic(tag, version); the
+// flat KWF2 container and the serve wire model carry no version byte on
+// the wire, so their constants exist purely as the manifest's bump target.
+
+#ifndef KWSC_CORE_FORMAT_VERSIONS_H_
+#define KWSC_CORE_FORMAT_VERSIONS_H_
+
+#include <cstdint>
+
+namespace kwsc {
+
+/// kwsc-abi: format corpus tags=KWCP files=text/corpus
+inline constexpr uint32_t kCorpusFormatVersion = 1;
+
+/// kwsc-abi: format orp-kw tags=KWO1,KWO2 files=core/orp_kw
+inline constexpr uint32_t kOrpKwFormatVersion = 1;
+
+/// kwsc-abi: format sp-kw-box tags=KWS1,KWS2 files=core/sp_kw_box
+inline constexpr uint32_t kSpKwBoxFormatVersion = 1;
+
+/// kwsc-abi: format linf-nn tags=KWN1,KWN2 files=core/nn_linf
+inline constexpr uint32_t kLinfNnFormatVersion = 1;
+
+/// kwsc-abi: format l2-nn tags=KWL2 files=core/nn_l2
+inline constexpr uint32_t kL2NnFormatVersion = 1;
+
+/// kwsc-abi: format rr-kw tags=KWR2 files=core/rr_kw
+inline constexpr uint32_t kRrKwFormatVersion = 1;
+
+/// kwsc-abi: format srp-kw tags=KWP2 files=core/srp_kw
+inline constexpr uint32_t kSrpKwFormatVersion = 1;
+
+/// kwsc-abi: format ksi tags=KWK2 files=ksi/framework_ksi
+inline constexpr uint32_t kKsiFormatVersion = 1;
+
+/// Shared persisted substructures every family embeds: the framework
+/// options image, NodeDirectory's stream and flat forms, the flat node
+/// records and directory pools, rank-space images, and the geometric Pods
+/// (Point/Box) slabs are built from. Bump when any shared layout changes.
+/// kwsc-abi: format framework-core files=core/framework.h,core/node_directory,core/flat_format,geom/rank_space,geom/point,geom/box
+inline constexpr uint32_t kFrameworkCoreFormatVersion = 1;
+
+/// The container layers themselves: the v1 stream archive (Magic/Pod/Vec
+/// framing) and the v2 mmap-native flat arena ("KWF2" header, 64-byte slab
+/// alignment, SlabRef framing).
+/// kwsc-abi: format flat-container tags=KWF2 files=common/flat_arena,common/serialize
+inline constexpr uint32_t kFlatContainerFormatVersion = 2;
+
+/// The serve-layer wire-cost model's message framing (DESIGN.md §6c).
+/// kwsc-abi: format serve-wire files=serve/merge
+inline constexpr uint32_t kServeWireFormatVersion = 1;
+
+}  // namespace kwsc
+
+#endif  // KWSC_CORE_FORMAT_VERSIONS_H_

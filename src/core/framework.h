@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/macros.h"
 #include "common/ops_budget.h"
 #include "common/serialize.h"
@@ -100,6 +101,10 @@ struct PersistedFrameworkOptions {
 };
 static_assert(sizeof(PersistedFrameworkOptions) == 24,
               "archive layout of FrameworkOptions must not change");
+// PADDED: 4 bytes of alignment gap after `k` and 1 tail byte, zeroed by the
+// memset in SaveFrameworkOptions so archived images stay byte-deterministic.
+KWSC_ABI_STRUCT_PADDED_AS(PersistedFrameworkOptions,
+                          PersistedFrameworkOptions);
 
 inline void SaveFrameworkOptions(OutputArchive* ar,
                                  const FrameworkOptions& options) {

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/flat_arena.h"
 #include "common/macros.h"
 #include "core/framework.h"
@@ -210,6 +211,10 @@ class L2NnIndex {
   Engine engine_;
   std::shared_ptr<const MmapFile> mmap_;
 };
+
+// The persisted d=2 instantiation: the KWL2 flat root (FORMATS.lock locks
+// its layout under format l2-nn).
+KWSC_ABI_STRUCT_AS(L2NnFlatRoot2, L2NnIndex<2>::FlatRoot);
 
 }  // namespace kwsc
 

@@ -31,9 +31,11 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/flat_arena.h"
 #include "common/macros.h"
 #include "core/dim_reduction.h"
+#include "core/format_versions.h"
 #include "core/framework.h"
 #include "core/orp_kw.h"
 #include "geom/box.h"
@@ -118,7 +120,7 @@ class LinfNnIndex {
     requires(D <= 2)
   {
     OutputArchive ar(out);
-    ar.Magic("KWN1", /*version=*/1);
+    ar.Magic("KWN1", kLinfNnFormatVersion);
     ar.Pod<uint32_t>(static_cast<uint32_t>(D));
     ar.Vec(points_.view());
     for (int dim = 0; dim < D; ++dim) ar.Vec(sorted_coords_[dim].view());
@@ -133,7 +135,8 @@ class LinfNnIndex {
   {
     InputArchive ar(in);
     const uint32_t version = ar.Magic("KWN1");
-    KWSC_CHECK_MSG(version == 1, "unsupported index version %u", version);
+    KWSC_CHECK_MSG(version == kLinfNnFormatVersion,
+                   "unsupported index version %u", version);
     KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
                    "index dimensionality mismatch");
     LinfNnIndex index{PrivateTag{}};
@@ -351,6 +354,10 @@ class LinfNnIndex {
   std::optional<Engine> engine_;
   std::shared_ptr<const MmapFile> mmap_;
 };
+
+// The persisted d=2 instantiation: the KWN2 flat root (FORMATS.lock locks
+// its layout under format linf-nn).
+KWSC_ABI_STRUCT_AS(LinfNnFlatRoot2, LinfNnIndex<2>::FlatRoot);
 
 }  // namespace kwsc
 

@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/flat_hash.h"
 #include "common/serialize.h"
 #include "core/framework.h"
@@ -55,6 +56,7 @@ struct FlatLargeEntry {
   uint32_t lid;
 };
 static_assert(sizeof(FlatLargeEntry) == 8, "no padding allowed in slabs");
+KWSC_ABI_STRUCT(FlatLargeEntry);
 
 /// One materialized list D_u^act(w) in the flat layout: `count` ObjectIds
 /// starting at `begin` in the shared materialized-object pool.
@@ -64,6 +66,7 @@ struct FlatMatEntry {
   uint64_t begin;
 };
 static_assert(sizeof(FlatMatEntry) == 16, "no padding allowed in slabs");
+KWSC_ABI_STRUCT(FlatMatEntry);
 
 /// Flat-mode directory contents: sorted spans into mapped slabs. The owning
 /// index keeps the backing MmapFile alive for as long as the directory uses

@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/flat_arena.h"
 #include "common/macros.h"
 #include "common/memory.h"
@@ -42,6 +43,7 @@
 #include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "core/flat_format.h"
+#include "core/format_versions.h"
 #include "core/framework.h"
 #include "core/node_directory.h"
 #include "geom/box.h"
@@ -210,7 +212,7 @@ class OrpKwIndex {
   /// supplied again on Load; a fingerprint guards against mismatches.
   void Save(std::ostream* out) const {
     OutputArchive ar(out);
-    ar.Magic("KWO1", /*version=*/1);
+    ar.Magic("KWO1", kOrpKwFormatVersion);
     ar.Pod<uint32_t>(static_cast<uint32_t>(D));
     SaveFrameworkOptions(&ar, options_);
     ar.Pod<uint64_t>(corpus_->num_objects());
@@ -233,7 +235,8 @@ class OrpKwIndex {
     KWSC_CHECK(corpus != nullptr);
     InputArchive ar(in);
     const uint32_t version = ar.Magic("KWO1");
-    KWSC_CHECK_MSG(version == 1, "unsupported index version %u", version);
+    KWSC_CHECK_MSG(version == kOrpKwFormatVersion,
+                   "unsupported index version %u", version);
     KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
                    "index dimensionality mismatch");
     OrpKwIndex index(corpus);
@@ -730,6 +733,11 @@ class OrpKwIndex {
   // Keeps the mapped bytes every flat view points into alive.
   std::shared_ptr<const MmapFile> mmap_;
 };
+
+// The persisted d=2 instantiations: the KWO2 flat root and its rank-cell
+// node record (FORMATS.lock locks their layouts under format orp-kw).
+KWSC_ABI_STRUCT_AS(OrpKwFlatRoot2, OrpKwIndex<2>::FlatRoot);
+KWSC_ABI_STRUCT_AS(OrpKwFlatNodeRec2, FlatNodeRec<Box<2, int64_t>>);
 
 }  // namespace kwsc
 

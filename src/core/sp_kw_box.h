@@ -28,11 +28,13 @@
 #include <span>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/flat_arena.h"
 #include "common/macros.h"
 #include "common/memory.h"
 #include "common/ops_budget.h"
 #include "core/flat_format.h"
+#include "core/format_versions.h"
 #include "core/framework.h"
 #include "core/node_directory.h"
 #include "geom/box.h"
@@ -127,7 +129,7 @@ class SpKwBoxIndex {
   /// stored separately and must be re-supplied on Load.
   void Save(std::ostream* out) const {
     OutputArchive ar(out);
-    ar.Magic("KWS1", /*version=*/1);
+    ar.Magic("KWS1", kSpKwBoxFormatVersion);
     ar.Pod<uint32_t>(static_cast<uint32_t>(D));
     SaveFrameworkOptions(&ar, options_);
     ar.Pod<uint64_t>(corpus_->num_objects());
@@ -147,7 +149,8 @@ class SpKwBoxIndex {
     KWSC_CHECK(corpus != nullptr);
     InputArchive ar(in);
     const uint32_t version = ar.Magic("KWS1");
-    KWSC_CHECK_MSG(version == 1, "unsupported index version %u", version);
+    KWSC_CHECK_MSG(version == kSpKwBoxFormatVersion,
+                   "unsupported index version %u", version);
     KWSC_CHECK_MSG(ar.Pod<uint32_t>() == static_cast<uint32_t>(D),
                    "index dimensionality mismatch");
     SpKwBoxIndex index(corpus);
@@ -498,6 +501,11 @@ class SpKwBoxIndex {
   std::vector<Node> nodes_;
   std::shared_ptr<const MmapFile> mmap_;
 };
+
+// The persisted d=2 instantiations: the KWS2 flat root and its box-cell
+// node record (FORMATS.lock locks their layouts under format sp-kw-box).
+KWSC_ABI_STRUCT_AS(SpKwBoxFlatRoot2, SpKwBoxIndex<2>::FlatRoot);
+KWSC_ABI_STRUCT_AS(SpKwBoxFlatNodeRec2, FlatNodeRec<Box<2>>);
 
 }  // namespace kwsc
 

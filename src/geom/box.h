@@ -8,6 +8,7 @@
 
 #include <limits>
 
+#include "common/abi.h"
 #include "geom/halfspace.h"
 #include "geom/point.h"
 
@@ -96,6 +97,11 @@ struct Box {
     return a.lo == b.lo && a.hi == b.hi;
   }
 };
+
+// Boxes are the cell payload of flat node records (FlatNodeRec<CellT>); the
+// d=2 instantiations (double cells and rank-space int64 cells) persist.
+KWSC_ABI_STRUCT_AS(BoxD2, Box<2>);
+KWSC_ABI_STRUCT_AS(BoxI2, Box<2, int64_t>);
 
 }  // namespace kwsc
 

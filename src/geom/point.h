@@ -14,6 +14,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/abi.h"
+
 namespace kwsc {
 
 template <int D, typename Scalar = double>
@@ -57,6 +59,11 @@ Scalar L2DistanceSquared(const Point<D, Scalar>& p, const Point<D, Scalar>& q) {
   }
   return total;
 }
+
+// Points are slab element types in every flat family container (and Pod
+// payloads in v1 archives); the d=2 instantiations are the persisted ones.
+KWSC_ABI_STRUCT_AS(PointD2, Point<2>);
+KWSC_ABI_STRUCT_AS(PointI2, Point<2, int64_t>);
 
 }  // namespace kwsc
 

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "common/abi.h"
 #include "common/flat_arena.h"
 #include "common/macros.h"
 #include "common/memory.h"
@@ -160,6 +161,9 @@ class RankSpace {
   std::array<OwnedSpan<int64_t>, D> ranks_;  // ranks_[dim][object id].
   size_t num_points_ = 0;
 };
+
+// The rank-table image embedded in flat family roots (d=2 persists).
+KWSC_ABI_STRUCT_AS(RankSpaceFlatImage2, RankSpace<2>::FlatImage);
 
 }  // namespace kwsc
 

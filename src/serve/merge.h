@@ -36,16 +36,58 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/abi.h"
 #include "text/document.h"
 
 namespace kwsc {
 
-/// Wire-cost model: each shard→coordinator message pays a fixed header, each
-/// candidate id is 4 bytes, a summary is the count plus up to
-/// kMergeSampleKeys sampled ids, and the θ* broadcast is one id per shard.
-inline constexpr uint64_t kShardMessageHeaderBytes = 8;
-inline constexpr uint64_t kCandidateBytes = sizeof(ObjectId);
+/// Number of sample keys in a round-1 summary: evenly spaced local ranks
+/// including both ends. A protocol parameter, not a layout artifact — it
+/// sizes ShardSummaryWire below and bounds the selection overshoot.
 inline constexpr uint64_t kMergeSampleKeys = 8;
+
+// ---- Wire records (FORMATS.lock locks these under format serve-wire) ----
+//
+// The protocols are simulated in-process today, but the byte counters model
+// the process-per-shard deployment, so the message layouts are pinned as
+// explicit trivially-copyable structs rather than loose byte arithmetic.
+
+/// One candidate id on the wire (candidate lists, samples, θ* broadcast).
+struct CandidateWire {
+  ObjectId id;
+};
+
+/// Fixed header of every shard→coordinator message: the shard ordinal and
+/// the number of CandidateWire records that follow.
+struct ShardMessageHeaderWire {
+  uint32_t shard;
+  uint32_t candidate_count;
+};
+
+/// A round-1 summary message: the header (candidate_count carries the
+/// shard's full list size) plus up to kMergeSampleKeys sampled ids. Short
+/// lists send fewer samples, so only the occupied prefix is charged.
+struct ShardSummaryWire {
+  ShardMessageHeaderWire header;
+  ObjectId samples[kMergeSampleKeys];
+};
+
+KWSC_ABI_STRUCT(CandidateWire);
+KWSC_ABI_STRUCT(ShardMessageHeaderWire);
+KWSC_ABI_STRUCT(ShardSummaryWire);
+
+/// Wire-cost model, derived from the structs above: each message pays a
+/// fixed header, each candidate id rides as one CandidateWire.
+inline constexpr uint64_t kShardMessageHeaderBytes =
+    sizeof(ShardMessageHeaderWire);
+inline constexpr uint64_t kCandidateBytes = sizeof(CandidateWire);
+
+static_assert(sizeof(ShardSummaryWire) ==
+                  sizeof(ShardMessageHeaderWire) +
+                      kMergeSampleKeys * sizeof(CandidateWire),
+              "summary must be exactly header + samples, no padding");
+static_assert(kShardMessageHeaderBytes == 8 && kCandidateBytes == 4,
+              "wire cost model must match the published byte accounting");
 
 /// Bytes-exchanged accounting for one or more merged queries. `naive` is
 /// always the full-gather cost; `selection` is what the selection protocol

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/memory.h"
 #include "common/serialize.h"
+#include "core/format_versions.h"
 
 namespace kwsc {
 
@@ -42,7 +43,7 @@ bool Corpus::ContainsAll(ObjectId e, std::span<const KeywordId> keywords) const 
 
 void Corpus::Save(std::ostream* out) const {
   OutputArchive ar(out);
-  ar.Magic("KWCP", /*version=*/1);
+  ar.Magic("KWCP", kCorpusFormatVersion);
   ar.Pod<uint64_t>(docs_.size());
   for (const Document& d : docs_) ar.Vec(d.keywords());
 }
@@ -50,7 +51,8 @@ void Corpus::Save(std::ostream* out) const {
 Corpus Corpus::Load(std::istream* in) {
   InputArchive ar(in);
   const uint32_t version = ar.Magic("KWCP");
-  KWSC_CHECK_MSG(version == 1, "unsupported corpus version %u", version);
+  KWSC_CHECK_MSG(version == kCorpusFormatVersion,
+                 "unsupported corpus version %u", version);
   const uint64_t count = ar.Pod<uint64_t>();
   std::vector<Document> docs;
   docs.reserve(count);

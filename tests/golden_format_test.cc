@@ -1,0 +1,127 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Golden-format tests: the committed byte streams under tests/golden/ are
+// the ground truth for the v1 archive and v2 flat formats of two persisted
+// families (plus the corpus). Three properties per file:
+//
+//   1. Regeneration — building the golden workload today and saving it
+//      produces the committed bytes exactly. Any divergence means the
+//      serialization code changed the format (deliberately or not); the
+//      FORMATS.lock drift gate will demand the version bump, this test
+//      demands the golden refresh (tests/golden_util.h says how).
+//   2. Readability — the committed files load with today's readers.
+//   3. Health — every loaded index passes its deep structural audit, so the
+//      goldens keep exercising the real validation paths, not just framing.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "audit/index_auditor.h"
+#include "common/flat_arena.h"
+#include "golden_util.h"
+#include "test_util.h"
+
+namespace kwsc {
+namespace {
+
+#ifndef KWSC_SOURCE_DIR
+#error "golden_format_test requires the KWSC_SOURCE_DIR compile definition"
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(KWSC_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+std::string ReadGolden(const std::string& name) {
+  std::ifstream in(GoldenPath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << name
+                         << "; regenerate: build/tests/make_golden "
+                            "tests/golden";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+TEST(GoldenFormat, RegenerationIsByteIdentical) {
+  for (const golden::GoldenFile& file : golden::RenderAll()) {
+    const std::string committed = ReadGolden(file.name);
+    ASSERT_FALSE(file.bytes.empty()) << file.name;
+    EXPECT_EQ(committed.size(), file.bytes.size()) << file.name;
+    EXPECT_TRUE(committed == file.bytes)
+        << file.name
+        << ": serialization output drifted from the committed golden; if "
+           "the format change is deliberate, bump the version constant "
+           "(src/core/format_versions.h), regenerate FORMATS.lock and the "
+           "goldens (tests/golden_util.h header comment), and commit all "
+           "three together";
+  }
+}
+
+TEST(GoldenFormat, CorpusV1LoadsAndMatches) {
+  std::istringstream in(ReadGolden("corpus_v1.bin"));
+  const Corpus loaded = Corpus::Load(&in);
+  const Corpus built = golden::MakeCorpus();
+  ASSERT_EQ(loaded.num_objects(), built.num_objects());
+  EXPECT_EQ(loaded.vocab_size(), built.vocab_size());
+  for (ObjectId e = 0; e < built.num_objects(); ++e) {
+    for (KeywordId w = 0; w < built.vocab_size(); ++w) {
+      EXPECT_EQ(loaded.Contains(e, w), built.Contains(e, w));
+    }
+  }
+}
+
+TEST(GoldenFormat, OrpKwV1LoadsAuditClean) {
+  const Corpus corpus = golden::MakeCorpus();
+  std::istringstream in(ReadGolden("orp_kw_v1.bin"));
+  const OrpKwIndex<2> loaded = OrpKwIndex<2>::Load(&in, &corpus);
+  testing::ExpectAuditClean(loaded);
+}
+
+TEST(GoldenFormat, OrpKwV2LoadsAuditClean) {
+  const Corpus corpus = golden::MakeCorpus();
+  const auto file = MmapFile::Open(GoldenPath("orp_kw_v2.bin"));
+  ASSERT_NE(file, nullptr);
+  const OrpKwIndex<2> loaded = OrpKwIndex<2>::LoadFlat(file, &corpus);
+  testing::ExpectAuditClean(loaded);
+}
+
+TEST(GoldenFormat, SpKwBoxV1LoadsAuditClean) {
+  const Corpus corpus = golden::MakeCorpus();
+  std::istringstream in(ReadGolden("sp_kw_box_v1.bin"));
+  const SpKwBoxIndex<2> loaded = SpKwBoxIndex<2>::Load(&in, &corpus);
+  testing::ExpectAuditClean(loaded);
+}
+
+TEST(GoldenFormat, SpKwBoxV2LoadsAuditClean) {
+  const Corpus corpus = golden::MakeCorpus();
+  const auto file = MmapFile::Open(GoldenPath("sp_kw_box_v2.bin"));
+  ASSERT_NE(file, nullptr);
+  const SpKwBoxIndex<2> loaded = SpKwBoxIndex<2>::LoadFlat(file, &corpus);
+  testing::ExpectAuditClean(loaded);
+}
+
+// The queries a fresh build answers, the golden-loaded indexes must answer
+// identically — format stability is only worth locking if the decoded
+// structure behaves the same.
+TEST(GoldenFormat, GoldenLoadedQueriesMatchFreshBuild) {
+  const Corpus corpus = golden::MakeCorpus();
+  const auto pts = golden::MakePoints();
+  const OrpKwIndex<2> built(pts, &corpus, golden::MakeOptions());
+  std::istringstream in(ReadGolden("orp_kw_v1.bin"));
+  const OrpKwIndex<2> loaded = OrpKwIndex<2>::Load(&in, &corpus);
+  const Box<2> range{Point<2>{{0, 0}}, Point<2>{{7, 6}}};
+  // Exactly k=2 keywords per query: every unordered vocabulary pair.
+  for (KeywordId w1 = 0; w1 < 6; ++w1) {
+    for (KeywordId w2 = w1 + 1; w2 < 6; ++w2) {
+      const std::vector<KeywordId> kws = {w1, w2};
+      EXPECT_EQ(built.Query(range, kws), loaded.Query(range, kws))
+          << w1 << "," << w2;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kwsc

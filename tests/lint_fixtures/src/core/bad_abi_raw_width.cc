@@ -1,0 +1,39 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded abi-raw-width violations: platform-width integer spellings inside a
+// registered (persisted) struct's field declarations. sizeof/offsetof of
+// such a struct is a function of the host ABI — exactly what a locked
+// on-disk layout must never be. The rule is field-declaration-granular:
+// the `int` method parameter and the `static` member in the control struct
+// are not layout and must not fire.
+//
+// Expected findings: exactly 3 x abi-raw-width (the long, the unsigned,
+// and the size_t field of SloppyHeader).
+
+#include <cstdint>
+
+#include "common/abi.h"
+
+namespace kwsc {
+
+struct SloppyHeader {
+  long offset;
+  unsigned flags;
+  size_t count;
+  uint32_t version;
+};
+KWSC_ABI_STRUCT(SloppyHeader);
+
+struct StrictHeader {
+  int64_t offset;
+  uint32_t flags;
+  uint64_t count;
+  uint32_t version;
+
+  static constexpr int kArity = 2;
+
+  uint64_t End(int extra) const { return offset + count + extra; }
+};
+KWSC_ABI_STRUCT(StrictHeader);
+
+}  // namespace kwsc

@@ -1,0 +1,41 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded abi-unregistered-struct violation: a record type reinterpreted from
+// mapped bytes (a Slab element) whose layout nothing locks — it has no
+// KWSC_ABI_STRUCT registration, so FORMATS.lock would never see it drift.
+// The registered record on the same slab path is the control.
+//
+// Expected findings: exactly 1 x abi-unregistered-struct (UnlockedRec).
+
+#include <cstdint>
+#include <span>
+
+#include "common/abi.h"
+#include "common/flat_arena.h"
+
+namespace kwsc {
+
+struct UnlockedRec {
+  uint32_t keyword;
+  uint32_t count;
+};
+
+struct LockedRec {
+  uint32_t keyword;
+  uint32_t count;
+};
+KWSC_ABI_STRUCT(LockedRec);
+
+uint64_t SumCounts(const FlatArenaReader& reader, SlabRef unlocked,
+                   SlabRef locked) {
+  uint64_t total = 0;
+  for (const UnlockedRec& rec : reader.Slab<UnlockedRec>(unlocked)) {
+    total += rec.count;
+  }
+  for (const LockedRec& rec : reader.Slab<LockedRec>(locked)) {
+    total += rec.count;
+  }
+  return total;
+}
+
+}  // namespace kwsc

@@ -1,0 +1,58 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded abi-version-bump violation: Magic() framing whose version operand
+// is a numeric literal. The abi-gate ties layout drift to a bump of the
+// named constant in core/format_versions.h; a literal at the call site is
+// invisible to that gate. The constant-using pair below is the control.
+//
+// Expected findings: exactly 1 x abi-version-bump (LiteralVersioned::Save).
+
+#include <iostream>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/serialize.h"
+#include "core/format_versions.h"
+
+namespace kwsc {
+
+struct LiteralVersioned {
+  std::vector<uint32_t> ids;
+
+  void Save(std::ostream* out) const {
+    OutputArchive ar(out);
+    ar.Magic("KWBD", 3);
+    ar.Vec(ids);
+  }
+
+  static LiteralVersioned Load(std::istream* in) {
+    InputArchive ar(in);
+    const uint32_t version = ar.Magic("KWBD");
+    KWSC_CHECK_MSG(version == 3, "unsupported version %u", version);
+    LiteralVersioned loaded;
+    loaded.ids = ar.Vec<uint32_t>();
+    return loaded;
+  }
+};
+
+struct ConstantVersioned {
+  std::vector<uint32_t> ids;
+
+  void Save(std::ostream* out) const {
+    OutputArchive ar(out);
+    ar.Magic("KWGD", kCorpusFormatVersion);
+    ar.Vec(ids);
+  }
+
+  static ConstantVersioned Load(std::istream* in) {
+    InputArchive ar(in);
+    const uint32_t version = ar.Magic("KWGD");
+    KWSC_CHECK_MSG(version == kCorpusFormatVersion, "unsupported version %u",
+                   version);
+    ConstantVersioned loaded;
+    loaded.ids = ar.Vec<uint32_t>();
+    return loaded;
+  }
+};
+
+}  // namespace kwsc

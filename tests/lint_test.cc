@@ -201,6 +201,47 @@ TEST(LintFixtures, BadFlatRetainFiresOnRetainedViews) {
   }
 }
 
+// --- v3 ABI/format rule pack. Same contract: each fixture seeds exactly its
+// rule's violations and the inline controls stay clean.
+
+TEST(LintFixtures, BadAbiUnregisteredFiresOnUnlockedSlabElement) {
+  const auto findings =
+      LintFixture("tests/lint_fixtures/src/core/bad_abi_unregistered.cc");
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("abi-unregistered-struct"), 1) << Render(findings);
+  EXPECT_EQ(counts.size(), 1u) << Render(findings);
+  // The registered record on the same slab path is the control.
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("'UnlockedRec'"), std::string::npos)
+        << f.Format();
+  }
+}
+
+TEST(LintFixtures, BadAbiRawWidthFiresPerPlatformWidthField) {
+  const auto findings =
+      LintFixture("tests/lint_fixtures/src/core/bad_abi_raw_width.cc");
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("abi-raw-width"), 3) << Render(findings);
+  EXPECT_EQ(counts.size(), 1u) << Render(findings);
+  // Field-declaration granularity: the `int` method parameter and the
+  // `static constexpr int` member of the control struct must not fire.
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("'SloppyHeader'"), std::string::npos)
+        << f.Format();
+  }
+}
+
+TEST(LintFixtures, BadAbiVersionBumpFiresOnLiteralMagicVersion) {
+  const auto findings =
+      LintFixture("tests/lint_fixtures/src/core/bad_abi_version_bump.cc");
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("abi-version-bump"), 1) << Render(findings);
+  EXPECT_EQ(counts.size(), 1u) << Render(findings);
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("\"KWBD\""), std::string::npos) << f.Format();
+  }
+}
+
 TEST(LintFixtures, GoodCleanIsClean) {
   const auto findings = LintFixture("tests/lint_fixtures/good_clean.cc");
   EXPECT_TRUE(findings.empty()) << Render(findings);

@@ -1,0 +1,178 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// kwsc-abi driver. Three subcommands cover the manifest lifecycle:
+//
+//   kwsc_abi emit-probe <repo_root> <out.cc>
+//       Scans src/ and writes the probe translation unit (only when its
+//       content changed, so CMake does not rebuild the probe needlessly).
+//       Exit 2 on model errors (coverage gaps, unresolved registrations).
+//
+//   kwsc_abi manifest <repo_root> --probe <probe_binary> [-o <out>]
+//       Scans src/, runs the compiled probe, and renders the canonical
+//       manifest to <out> (default stdout). Exit 2 on any model or probe
+//       error — a manifest is all-or-nothing.
+//
+//   kwsc_abi diff <old_manifest> <new_manifest>
+//       The drift gate. Prints changes; exit 1 when a change violates the
+//       versioning contract (content drift without a bump, removed format,
+//       version decrease), exit 0 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abi.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  kwsc_abi emit-probe <repo_root> <out.cc>\n"
+      << "  kwsc_abi manifest <repo_root> --probe <probe_binary> [-o <out>]\n"
+      << "  kwsc_abi diff <old_manifest> <new_manifest>\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  *out = contents.str();
+  return true;
+}
+
+bool WriteFileIfChanged(const std::string& path, const std::string& contents) {
+  std::string existing;
+  if (ReadFile(path, &existing) && existing == contents) return true;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return out.good();
+}
+
+int ReportErrors(const std::vector<std::string>& errors) {
+  for (const std::string& error : errors) {
+    std::cerr << "kwsc-abi: " << error << "\n";
+  }
+  std::cerr << "kwsc-abi: " << errors.size() << " error(s); no manifest\n";
+  return 2;
+}
+
+int EmitProbe(const std::string& repo_root, const std::string& out_path) {
+  const kwsc::abi::Model model =
+      kwsc::abi::BuildModel(kwsc::abi::LoadTree(repo_root));
+  if (!model.errors.empty()) return ReportErrors(model.errors);
+  if (!WriteFileIfChanged(out_path, kwsc::abi::EmitProbeSource(model))) {
+    std::cerr << "kwsc-abi: cannot write " << out_path << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int Manifest(const std::string& repo_root, const std::string& probe_path,
+             const std::string& out_path) {
+  const kwsc::abi::Model model =
+      kwsc::abi::BuildModel(kwsc::abi::LoadTree(repo_root));
+  if (!model.errors.empty()) return ReportErrors(model.errors);
+
+  FILE* pipe = popen(probe_path.c_str(), "r");
+  if (pipe == nullptr) {
+    std::cerr << "kwsc-abi: cannot run probe " << probe_path << "\n";
+    return 2;
+  }
+  std::string probe_output;
+  char buffer[4096];
+  size_t got;
+  while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    probe_output.append(buffer, got);
+  }
+  if (pclose(pipe) != 0) {
+    std::cerr << "kwsc-abi: probe " << probe_path << " failed\n";
+    return 2;
+  }
+
+  std::vector<std::string> errors;
+  const kwsc::abi::ProbeLayout layout =
+      kwsc::abi::ParseProbeOutput(probe_output, &errors);
+  const std::string manifest =
+      kwsc::abi::RenderManifest(model, layout, &errors);
+  if (!errors.empty()) return ReportErrors(errors);
+
+  if (out_path.empty()) {
+    std::cout << manifest;
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << manifest;
+  if (!out.good()) {
+    std::cerr << "kwsc-abi: cannot write " << out_path << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int Diff(const std::string& old_path, const std::string& new_path) {
+  std::string old_text, new_text;
+  if (!ReadFile(old_path, &old_text)) {
+    std::cerr << "kwsc-abi: cannot read " << old_path << "\n";
+    return 2;
+  }
+  if (!ReadFile(new_path, &new_text)) {
+    std::cerr << "kwsc-abi: cannot read " << new_path << "\n";
+    return 2;
+  }
+  const kwsc::abi::DiffResult result =
+      kwsc::abi::DiffManifests(old_text, new_text);
+  for (const std::string& change : result.changes) {
+    std::cout << "kwsc-abi: change: " << change << "\n";
+  }
+  for (const std::string& violation : result.violations) {
+    std::cout << "kwsc-abi: VIOLATION: " << violation << "\n";
+  }
+  if (!result.violations.empty()) {
+    std::cout << "kwsc-abi: " << result.violations.size()
+              << " format-contract violation(s)\n";
+    return 1;
+  }
+  std::cout << (result.changes.empty()
+                    ? "kwsc-abi: manifests identical\n"
+                    : "kwsc-abi: changes are contract-clean\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& command = args[0];
+  if (command == "emit-probe" && args.size() == 3) {
+    return EmitProbe(args[1], args[2]);
+  }
+  if (command == "manifest") {
+    std::string repo_root, probe, out;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--probe" && i + 1 < args.size()) {
+        probe = args[++i];
+      } else if (args[i] == "-o" && i + 1 < args.size()) {
+        out = args[++i];
+      } else if (repo_root.empty()) {
+        repo_root = args[i];
+      } else {
+        return Usage();
+      }
+    }
+    if (repo_root.empty() || probe.empty()) return Usage();
+    return Manifest(repo_root, probe, out);
+  }
+  if (command == "diff" && args.size() == 3) {
+    return Diff(args[1], args[2]);
+  }
+  return Usage();
+}

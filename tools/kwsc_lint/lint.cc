@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "scanner.h"
+
 namespace kwsc {
 namespace lint {
 
@@ -55,238 +57,11 @@ std::vector<AllowEntry> LoadAllowlistFile(const std::string& path) {
   return ParseAllowlist(text.str());
 }
 
+// ---------------------------------------------------------------------------
+// Linter internals.
+// ---------------------------------------------------------------------------
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Lexer: comments and preprocessor lines stripped from the token stream
-// (preprocessor directives and allow-comments are collected on the side).
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum Kind { kIdent, kNumber, kString, kChar, kPunct };
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct Scan {
-  std::vector<std::string> lines;  // 0-based; lines[i] is source line i+1.
-  std::vector<Token> tokens;
-  std::vector<std::pair<int, std::string>> preprocessor;  // (line, directive)
-  std::map<int, std::vector<std::string>> allow;  // line -> allowed rule ids
-};
-
-void RecordAllowComment(Scan* scan, int line, std::string_view comment) {
-  static constexpr std::string_view kTag = "kwsc-lint: allow(";
-  size_t pos = comment.find(kTag);
-  while (pos != std::string_view::npos) {
-    const size_t open = pos + kTag.size();
-    const size_t close = comment.find(')', open);
-    if (close == std::string_view::npos) break;
-    scan->allow[line].emplace_back(comment.substr(open, close - open));
-    pos = comment.find(kTag, close);
-  }
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-Scan Tokenize(const std::string& contents) {
-  Scan scan;
-  {
-    std::istringstream stream(contents);
-    std::string line;
-    while (std::getline(stream, line)) scan.lines.push_back(line);
-  }
-
-  const size_t n = contents.size();
-  size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;  // Only whitespace seen since the last newline.
-  auto advance = [&](size_t count) {
-    for (size_t j = 0; j < count && i < n; ++j, ++i) {
-      if (contents[i] == '\n') {
-        ++line;
-        at_line_start = true;
-      }
-    }
-  };
-
-  while (i < n) {
-    const char c = contents[i];
-    if (c == '\n') {
-      advance(1);
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
-      const size_t end = contents.find('\n', i);
-      const size_t stop = end == std::string::npos ? n : end;
-      RecordAllowComment(&scan, line,
-                         std::string_view(contents).substr(i, stop - i));
-      advance(stop - i);
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
-      const size_t end = contents.find("*/", i + 2);
-      const size_t stop = end == std::string::npos ? n : end + 2;
-      RecordAllowComment(&scan, line,
-                         std::string_view(contents).substr(i, stop - i));
-      advance(stop - i);
-      continue;
-    }
-    // Preprocessor directive (with backslash continuations), only when '#'
-    // is the first non-whitespace character on the line.
-    if (c == '#' && at_line_start) {
-      const int directive_line = line;
-      size_t end = i;
-      while (end < n) {
-        const size_t newline = contents.find('\n', end);
-        const size_t stop = newline == std::string::npos ? n : newline;
-        // A trailing backslash continues the directive onto the next line.
-        size_t last = stop;
-        while (last > end &&
-               std::isspace(static_cast<unsigned char>(contents[last - 1])) !=
-                   0 &&
-               contents[last - 1] != '\n') {
-          --last;
-        }
-        if (last > end && contents[last - 1] == '\\' && newline != std::string::npos) {
-          end = newline + 1;
-          continue;
-        }
-        end = stop;
-        break;
-      }
-      scan.preprocessor.emplace_back(directive_line,
-                                     contents.substr(i, end - i));
-      advance(end - i);
-      continue;
-    }
-    at_line_start = false;
-    // String literal.
-    if (c == '"') {
-      size_t j = i + 1;
-      while (j < n && contents[j] != '"') {
-        if (contents[j] == '\\') ++j;
-        ++j;
-      }
-      const size_t stop = j < n ? j + 1 : n;
-      scan.tokens.push_back(
-          {Token::kString, contents.substr(i, stop - i), line});
-      advance(stop - i);
-      continue;
-    }
-    // Character literal (the lexer does not need digraph/UDL fidelity).
-    if (c == '\'') {
-      size_t j = i + 1;
-      while (j < n && contents[j] != '\'') {
-        if (contents[j] == '\\') ++j;
-        ++j;
-      }
-      const size_t stop = j < n ? j + 1 : n;
-      scan.tokens.push_back({Token::kChar, contents.substr(i, stop - i), line});
-      advance(stop - i);
-      continue;
-    }
-    // Identifier / keyword.
-    if (IsIdentChar(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
-      size_t j = i;
-      while (j < n && IsIdentChar(contents[j])) ++j;
-      scan.tokens.push_back({Token::kIdent, contents.substr(i, j - i), line});
-      advance(j - i);
-      continue;
-    }
-    // Number (good enough: digits plus identifier-ish suffixes and dots).
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      size_t j = i;
-      while (j < n && (IsIdentChar(contents[j]) || contents[j] == '.' ||
-                       ((contents[j] == '+' || contents[j] == '-') && j > i &&
-                        (contents[j - 1] == 'e' || contents[j - 1] == 'E')))) {
-        ++j;
-      }
-      scan.tokens.push_back({Token::kNumber, contents.substr(i, j - i), line});
-      advance(j - i);
-      continue;
-    }
-    // Punctuation; '::' and '->' matter to the rules, so keep them fused.
-    if (c == ':' && i + 1 < n && contents[i + 1] == ':') {
-      scan.tokens.push_back({Token::kPunct, "::", line});
-      advance(2);
-      continue;
-    }
-    if (c == '-' && i + 1 < n && contents[i + 1] == '>') {
-      scan.tokens.push_back({Token::kPunct, "->", line});
-      advance(2);
-      continue;
-    }
-    scan.tokens.push_back({Token::kPunct, std::string(1, c), line});
-    advance(1);
-  }
-  return scan;
-}
-
-/// Index of the token matching the opener at `open` ('(', '{', '[' or '<'),
-/// or tokens.size() if unbalanced.
-size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
-  const std::string& open_text = tokens[open].text;
-  const std::string close_text = open_text == "("   ? ")"
-                                 : open_text == "{" ? "}"
-                                 : open_text == "[" ? "]"
-                                                    : ">";
-  int depth = 0;
-  for (size_t i = open; i < tokens.size(); ++i) {
-    if (tokens[i].text == open_text) {
-      ++depth;
-    } else if (tokens[i].text == close_text) {
-      if (--depth == 0) return i;
-    }
-  }
-  return tokens.size();
-}
-
-bool RangeContainsIdent(const std::vector<Token>& tokens, size_t begin,
-                        size_t end, std::string_view ident) {
-  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
-    if (tokens[i].kind == Token::kIdent && tokens[i].text == ident) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Archive-symmetry bookkeeping.
-// ---------------------------------------------------------------------------
-
-struct ArchiveOp {
-  enum Kind { kMagic, kPod, kVec, kSub };
-  Kind kind;
-  std::string detail;  // Magic: tag literal; Pod/Vec: explicit template args
-                       // ("" when deduced); Sub: callee suffix ("" for plain
-                       // nested Save/Load).
-  int line;
-};
-
-const char* OpName(ArchiveOp::Kind kind) {
-  switch (kind) {
-    case ArchiveOp::kMagic:
-      return "Magic";
-    case ArchiveOp::kPod:
-      return "Pod";
-    case ArchiveOp::kVec:
-      return "Vec";
-    case ArchiveOp::kSub:
-      return "nested Save/Load";
-  }
-  return "?";
-}
 
 struct SerializeFn {
   std::string file;
@@ -295,31 +70,6 @@ struct SerializeFn {
   int line = 0;
   std::vector<ArchiveOp> ops;
 };
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Linter internals.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-struct LintContext {
-  const std::string* path;       // Rule path (repo-relative).
-  const Scan* scan;
-  // Archive units discovered in this file, keyed by owner.
-  std::map<std::string, std::vector<SerializeFn>>* saves;
-  std::map<std::string, std::vector<SerializeFn>>* loads;
-};
-
-bool EndsWith(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool StartsWith(std::string_view text, std::string_view prefix) {
-  return text.compare(0, prefix.size(), prefix) == 0;
-}
 
 std::string ExpectedGuard(const std::string& path) {
   std::string trimmed = path;
@@ -335,137 +85,6 @@ std::string ExpectedGuard(const std::string& path) {
   }
   guard += '_';
   return guard;
-}
-
-/// Joins template-argument tokens into a canonical one-space spelling so the
-/// same type spelled across Save and Load compares equal regardless of
-/// whitespace in the source.
-std::string JoinTokens(const std::vector<Token>& tokens, size_t begin,
-                       size_t end) {
-  std::string joined;
-  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
-    if (!joined.empty()) joined += ' ';
-    joined += tokens[i].text;
-  }
-  return joined;
-}
-
-// ---------------------------------------------------------------------------
-// v2 semantic model: a declarations pass feeding the concurrency and
-// flat-slab escape rules. Still lexical — "declaration" is a token-shape
-// heuristic, not a parse — but the two-pass split (collect what names mean,
-// then judge how they are used) is what lets these rules reason about
-// captures, guards, and mapped memory instead of single tokens.
-// ---------------------------------------------------------------------------
-
-/// What the declarations pass learned about one file.
-struct DeclIndex {
-  /// Mutex members (`Mutex name_;`, optionally `mutable`): name -> line.
-  std::map<std::string, int> mutex_members;
-  /// Every identifier appearing inside a KWSC_* thread-safety annotation's
-  /// argument list. Deliberately coarse: naming a mutex anywhere in the
-  /// contract vocabulary counts as giving it a discipline.
-  std::set<std::string> annotated;
-  /// Identifiers declared with a mapped-memory type (MmapFile, SlabRef,
-  /// FlatArenaReader) — the taint set for flat-escape.
-  std::set<std::string> mapped;
-  /// Identifiers declared `std::byte*` / `const std::byte*`: raw pointers
-  /// into (potentially) mapped regions, subject to the arithmetic ban.
-  std::set<std::string> byte_ptrs;
-  /// Member-shaped (trailing '_') declarations that retain a view into a
-  /// mapped region past the deriving scope: name -> line, for flat-retain.
-  std::map<std::string, int> retained_members;
-};
-
-const std::set<std::string>& ThreadAnnotationMacros() {
-  static const std::set<std::string> kMacros = {
-      "KWSC_GUARDED_BY",       "KWSC_PT_GUARDED_BY",
-      "KWSC_REQUIRES",         "KWSC_REQUIRES_SHARED",
-      "KWSC_ACQUIRE",          "KWSC_ACQUIRE_SHARED",
-      "KWSC_RELEASE",          "KWSC_RELEASE_SHARED",
-      "KWSC_TRY_ACQUIRE",      "KWSC_EXCLUDES",
-      "KWSC_ASSERT_CAPABILITY", "KWSC_RETURN_CAPABILITY",
-      "KWSC_ACQUIRED_BEFORE",  "KWSC_ACQUIRED_AFTER"};
-  return kMacros;
-}
-
-/// From the token after a type name, skips declarator decoration and returns
-/// the declared identifier's index, or tokens.size() when the type name is
-/// not introducing a declaration here (a cast, a template argument, ...).
-size_t DeclaredIdent(const std::vector<Token>& toks, size_t after_type) {
-  size_t j = after_type;
-  while (j < toks.size() &&
-         (toks[j].text == "*" || toks[j].text == "&" ||
-          toks[j].text == "const")) {
-    ++j;
-  }
-  if (j < toks.size() && toks[j].kind == Token::kIdent) return j;
-  return toks.size();
-}
-
-DeclIndex BuildDeclIndex(const std::vector<Token>& toks) {
-  DeclIndex index;
-  for (size_t i = 0; i < toks.size(); ++i) {
-    const Token& tok = toks[i];
-    if (tok.kind != Token::kIdent) continue;
-
-    // Mutex members: `Mutex name_;` (locals without the member underscore
-    // are scoped by construction and carry their discipline in the code
-    // around them).
-    if (tok.text == "Mutex" && i + 2 < toks.size() &&
-        toks[i + 1].kind == Token::kIdent && toks[i + 2].text == ";" &&
-        EndsWith(toks[i + 1].text, "_")) {
-      index.mutex_members.emplace(toks[i + 1].text, toks[i + 1].line);
-    }
-
-    // Annotation arguments.
-    if (ThreadAnnotationMacros().count(tok.text) > 0 && i + 1 < toks.size() &&
-        toks[i + 1].text == "(") {
-      const size_t close = MatchingClose(toks, i + 1);
-      for (size_t j = i + 2; j < close && j < toks.size(); ++j) {
-        if (toks[j].kind == Token::kIdent) index.annotated.insert(toks[j].text);
-      }
-    }
-
-    // Mapped-memory declarations: `MmapFile f`, `const SlabRef& r`,
-    // `FlatArenaReader reader`. The declared name inherits the taint.
-    if (tok.text == "MmapFile" || tok.text == "SlabRef" ||
-        tok.text == "FlatArenaReader") {
-      const size_t decl = DeclaredIdent(toks, i + 1);
-      if (decl < toks.size()) {
-        index.mapped.insert(toks[decl].text);
-        if (tok.text == "FlatArenaReader" &&
-            EndsWith(toks[decl].text, "_") && decl + 1 < toks.size() &&
-            (toks[decl + 1].text == ";" || toks[decl + 1].text == "=" ||
-             toks[decl + 1].text == "{")) {
-          index.retained_members.emplace(toks[decl].text, toks[decl].line);
-        }
-      }
-    }
-
-    // `std::byte* p` declarations (the '*' is what makes it a raw view; a
-    // by-value std::byte is inert).
-    if (tok.text == "std" && i + 2 < toks.size() &&
-        toks[i + 1].text == "::" && toks[i + 2].text == "byte") {
-      size_t j = i + 3;
-      bool pointer = false;
-      while (j < toks.size() &&
-             (toks[j].text == "*" || toks[j].text == "&" ||
-              toks[j].text == "const")) {
-        pointer = pointer || toks[j].text == "*";
-        ++j;
-      }
-      if (pointer && j < toks.size() && toks[j].kind == Token::kIdent) {
-        index.byte_ptrs.insert(toks[j].text);
-        if (EndsWith(toks[j].text, "_") && j + 1 < toks.size() &&
-            (toks[j + 1].text == ";" || toks[j + 1].text == "=" ||
-             toks[j + 1].text == "{")) {
-          index.retained_members.emplace(toks[j].text, toks[j].line);
-        }
-      }
-    }
-  }
-  return index;
 }
 
 /// Methods that mutate their receiver; a call through a by-reference capture
@@ -779,6 +398,156 @@ void LintConcurrencyAndFlat(const std::string& path,
   }
 }
 
+/// The v3 ABI/format rule pack (scoped to paths containing src/, like the
+/// concurrency pack — which includes the seeded fixtures under
+/// tests/lint_fixtures/src/). Judges the format-contract discipline that
+/// tools/kwsc_abi locks tree-wide, at per-file granularity: persisted
+/// structs must be registered, registered structs must spell fixed widths,
+/// and Magic versions must come from core/format_versions.h.
+template <typename ReportFn>
+void LintAbiContracts(const std::string& path, const std::vector<Token>& toks,
+                      const ReportFn& report) {
+  if (path.find("src/") == std::string::npos) return;
+  // The registration macros and the version table define the vocabulary.
+  if (path.find("common/abi.h") != std::string::npos) return;
+  if (path.find("core/format_versions.h") != std::string::npos) return;
+
+  // Names appearing in any KWSC_ABI_STRUCT* registration argument list.
+  // Deliberately coarse (every identifier in the list counts): naming a type
+  // anywhere in a registration is what puts it into FORMATS.lock.
+  std::set<std::string> registered;
+  // Struct definitions in this file: name -> (def line, body token range).
+  struct StructDef {
+    int line;
+    size_t body_open;
+    size_t body_close;
+  };
+  std::map<std::string, StructDef> defs;
+  // Element types named by slab/root accessors (`Slab<T>`, `Root<T>`,
+  // `SlabOk<T>`, `RootOk<T>`): the set of types reinterpreted from mapped
+  // bytes in this file.
+  std::set<std::string> mapped_types;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::kIdent) continue;
+    if (StartsWith(tok.text, "KWSC_ABI_STRUCT") && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      const size_t close = MatchingClose(toks, i + 1);
+      for (size_t j = i + 2; j < close && j < toks.size(); ++j) {
+        if (toks[j].kind == Token::kIdent) registered.insert(toks[j].text);
+      }
+      continue;
+    }
+    if (tok.text == "struct" && i + 2 < toks.size() &&
+        (i == 0 || (toks[i - 1].text != "enum" && toks[i - 1].text != "<" &&
+                    toks[i - 1].text != ",")) &&
+        toks[i + 1].kind == Token::kIdent && toks[i + 2].text == "{") {
+      const size_t close = MatchingClose(toks, i + 2);
+      defs.emplace(toks[i + 1].text,
+                   StructDef{toks[i + 1].line, i + 2, close});
+      continue;
+    }
+    if ((tok.text == "Slab" || tok.text == "SlabOk" || tok.text == "Root" ||
+         tok.text == "RootOk") &&
+        i + 1 < toks.size() && toks[i + 1].text == "<") {
+      const size_t close = MatchingClose(toks, i + 1);
+      for (size_t j = i + 2; j < close && j < toks.size(); ++j) {
+        if (toks[j].kind == Token::kIdent) mapped_types.insert(toks[j].text);
+      }
+    }
+  }
+
+  // --- abi-unregistered-struct ---------------------------------------------
+  for (const auto& [name, def] : defs) {
+    if (mapped_types.count(name) == 0) continue;
+    if (registered.count(name) > 0) continue;
+    report(def.line, "abi-unregistered-struct",
+           "struct '" + name +
+               "' is reinterpreted from mapped bytes (Slab/Root element) but "
+               "has no KWSC_ABI_STRUCT registration in this file; register "
+               "it (common/abi.h) so kwsc-abi locks its layout in "
+               "FORMATS.lock");
+  }
+
+  // --- abi-raw-width -------------------------------------------------------
+  // Inside a registered struct's definition, every *field* must spell a
+  // fixed width: platform-width integer spellings make sizeof/offsetof a
+  // function of the host, which is exactly what a persisted layout must not
+  // be. The scan is field-declaration-granular — member functions (any decl
+  // containing '('), static members, and using-aliases are not layout.
+  static const std::set<std::string> kRawWidth = {
+      "int",      "long",      "short",     "unsigned", "signed",
+      "size_t",   "ssize_t",   "ptrdiff_t", "intptr_t", "uintptr_t",
+      "wchar_t",  "time_t",    "off_t"};
+  static const std::set<std::string> kNotFields = {"static", "using", "friend",
+                                                   "template", "typedef"};
+  for (const auto& [name, def] : defs) {
+    if (registered.count(name) == 0) continue;
+    size_t decl_begin = def.body_open + 1;
+    bool function_like = false;
+    int depth = 0;
+    for (size_t j = def.body_open + 1;
+         j < def.body_close && j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+      if (t == "(") function_like = true;
+      if (t == "{" && depth == 0) {
+        if (function_like) {
+          // A member-function body: skip it whole and start a fresh decl.
+          j = MatchingClose(toks, j);
+          decl_begin = j + 1;
+          function_like = false;
+          continue;
+        }
+        ++depth;  // Brace initializer on a field: part of the decl.
+        continue;
+      }
+      if (t == "}" && depth > 0) {
+        --depth;
+        continue;
+      }
+      if (t != ";" || depth != 0) continue;
+      // One declaration in [decl_begin, j).
+      if (!function_like && decl_begin < j &&
+          kNotFields.count(toks[decl_begin].text) == 0) {
+        for (size_t k = decl_begin; k < j; ++k) {
+          if (toks[k].kind != Token::kIdent ||
+              kRawWidth.count(toks[k].text) == 0) {
+            continue;
+          }
+          report(toks[k].line, "abi-raw-width",
+                 "'" + toks[k].text + "' field in registered ABI struct '" +
+                     name +
+                     "' has platform-dependent width; persisted/wire "
+                     "structs spell fixed-width types (int32_t, uint64_t, "
+                     "...)");
+        }
+      }
+      decl_begin = j + 1;
+      function_like = false;
+    }
+  }
+
+  // --- abi-version-bump ----------------------------------------------------
+  // `Magic("TAG", 1)` hard-codes the version at the call site; the write and
+  // read sides must both reference the named constant in
+  // core/format_versions.h, which is the single declaration the manifest's
+  // drift gate keys version bumps off.
+  for (size_t i = 0; i + 4 < toks.size(); ++i) {
+    if (toks[i].kind == Token::kIdent && toks[i].text == "Magic" &&
+        toks[i + 1].text == "(" && toks[i + 2].kind == Token::kString &&
+        toks[i + 3].text == "," && toks[i + 4].kind == Token::kNumber) {
+      report(toks[i].line, "abi-version-bump",
+             "Magic(" + toks[i + 2].text +
+                 ", ...) version is a numeric literal; use the named "
+                 "k*FormatVersion constant from core/format_versions.h so "
+                 "the abi-gate can tie layout drift to a version bump");
+    }
+  }
+}
+
 }  // namespace
 
 void Linter::Report(const std::string& path, int line, const std::string& rule,
@@ -939,6 +708,9 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
   // --- v2 rule pack: concurrency + flat-slab escapes -----------------------
   LintConcurrencyAndFlat(path, toks, report);
 
+  // --- v3 rule pack: ABI/format contracts ----------------------------------
+  LintAbiContracts(path, toks, report);
+
   // --- function-structure pass: archive-symmetry + ops-budget --------------
   // One walk detects function definitions. For Save/Load definitions it
   // extracts the ordered archive-op sequence; for every definition it scans
@@ -954,39 +726,6 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
 
   const bool budget_scope = path.find("core/") != std::string::npos ||
                             path.find("serve/") != std::string::npos;
-
-  auto extract_ops = [&](size_t body_begin, size_t body_end) {
-    std::vector<ArchiveOp> ops;
-    for (size_t j = body_begin; j < body_end; ++j) {
-      if (toks[j].kind != Token::kIdent) continue;
-      const std::string& name = toks[j].text;
-      if (j + 1 >= body_end) break;
-      if (name == "Magic" && toks[j + 1].text == "(") {
-        std::string tag;
-        if (j + 2 < body_end && toks[j + 2].kind == Token::kString) {
-          tag = toks[j + 2].text;
-        }
-        ops.push_back({ArchiveOp::kMagic, tag, toks[j].line});
-      } else if (name == "Pod" || name == "Vec") {
-        const ArchiveOp::Kind kind =
-            name == "Pod" ? ArchiveOp::kPod : ArchiveOp::kVec;
-        if (toks[j + 1].text == "<") {
-          const size_t targs_close = MatchingClose(toks, j + 1);
-          if (targs_close < body_end && targs_close + 1 < toks.size() &&
-              toks[targs_close + 1].text == "(") {
-            ops.push_back({kind, JoinTokens(toks, j + 2, targs_close),
-                           toks[j].line});
-          }
-        } else if (toks[j + 1].text == "(") {
-          ops.push_back({kind, "", toks[j].line});
-        }
-      } else if ((StartsWith(name, "Save") || StartsWith(name, "Load")) &&
-                 toks[j + 1].text == "(") {
-        ops.push_back({ArchiveOp::kSub, name.substr(4), toks[j].line});
-      }
-    }
-    return ops;
-  };
 
   // Recursive lambda over token ranges; `has_budget` is inherited by loops
   // in nested lambdas (they run on the enclosing query path).
@@ -1125,7 +864,7 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
           fn.owner = owner;
           fn.suffix = suffix;
           fn.line = tok.line;
-          fn.ops = extract_ops(body_open + 1, body_close);
+          fn.ops = ExtractArchiveOps(toks, body_open + 1, body_close);
           // Pair by exact name, not by owner alone: an owner with both a
           // v1 Save/Load and a v2 SaveFlat/LoadFlat must keep each pair
           // checked independently (owner-keyed pairing would see two save
@@ -1171,14 +910,15 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
       const ArchiveOp& s = save.ops[k];
       const ArchiveOp& l = load.ops[k];
       if (s.kind != l.kind) {
-        mismatch = "op " + std::to_string(k + 1) + " is " + OpName(s.kind) +
-                   " in Save but " + OpName(l.kind) + " in Load";
+        mismatch = "op " + std::to_string(k + 1) + " is " +
+                   ArchiveOpName(s.kind) + " in Save but " +
+                   ArchiveOpName(l.kind) + " in Load";
         at_line = l.line;
       } else if (!s.detail.empty() && !l.detail.empty() &&
                  s.detail != l.detail) {
-        mismatch = "op " + std::to_string(k + 1) + " (" + OpName(s.kind) +
-                   ") spells '" + s.detail + "' in Save but '" + l.detail +
-                   "' in Load";
+        mismatch = "op " + std::to_string(k + 1) + " (" +
+                   ArchiveOpName(s.kind) + ") spells '" + s.detail +
+                   "' in Save but '" + l.detail + "' in Load";
         at_line = l.line;
       }
     }

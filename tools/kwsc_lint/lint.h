@@ -69,6 +69,21 @@
 //       FlatArenaReader or std::byte*: a retained view that can outlive the
 //       mapping it points into. Store the MmapFile and re-derive.
 //
+// v3 ABI/format rule pack (scoped to paths containing src/; the vocabulary
+// lives in common/abi.h + core/format_versions.h, which are exempt). These
+// are the per-file fast checks backing the tree-wide FORMATS.lock drift
+// gate (tools/kwsc_abi, DESIGN.md §5h):
+//   abi-unregistered-struct — a struct defined in a file and reinterpreted
+//       from mapped bytes there (named in a Slab<T>/SlabOk<T>/Root<T>/
+//       RootOk<T> element type) without a KWSC_ABI_STRUCT registration in
+//       the same file: a persisted layout the manifest cannot lock.
+//   abi-raw-width      — a platform-width type spelling (int, long, size_t,
+//       ...) inside a registered ABI struct's definition; persisted/wire
+//       fields spell fixed-width types.
+//   abi-version-bump   — `Magic("TAG", <numeric literal>)`: format versions
+//       are named constants in core/format_versions.h so the abi-gate can
+//       tie a layout diff to a version bump.
+//
 // Suppression, most-specific first: an inline `kwsc-lint: allow(rule-id)`
 // comment on the finding's line or the line above; an allowlist entry
 // (`rule-id  path-substring  [line-substring]`); the hardcoded path

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# kwsc-abi gate: the committed format/ABI manifest must match the tree.
+#
+# Usage: tools/run_abi.sh [--update] [build-dir]
+#
+# Regenerates the manifest from src/ (kwsc_abi + the compiled layout probe)
+# into a scratch file and byte-compares it against the committed
+# FORMATS.lock. Any mismatch fails with the diff — commit the regenerated
+# manifest (--update writes it in place) *and* bump the owning format's
+# version constant in src/core/format_versions.h; `kwsc_abi diff` is run
+# against the committed manifest to enforce the bump half, so drift can
+# never land silently and a layout change can never ride along unversioned.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tools/kwsc_abi/kwsc_abi"
+PROBE="$BUILD_DIR/tools/kwsc_abi/kwsc_abi_probe"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "run_abi.sh: no build directory '$BUILD_DIR'; configure first:" >&2
+  echo "run_abi.sh:   cmake -B $BUILD_DIR -S ." >&2
+  exit 1
+fi
+
+# The probe target re-emits abi_probe.gen.cc whenever any src/ source
+# changed, and its compile re-checks the portability static_asserts.
+if ! cmake --build "$BUILD_DIR" --target kwsc_abi kwsc_abi_probe -j >/dev/null; then
+  echo "run_abi.sh: FAILED — could not build kwsc_abi / the layout probe" >&2
+  echo "run_abi.sh: (a failing probe compile IS a finding: a registered" >&2
+  echo "run_abi.sh: struct broke trivial-copyability, standard layout, or" >&2
+  echo "run_abi.sh: grew undeclared padding)." >&2
+  exit 1
+fi
+
+FRESH="$(mktemp)"
+trap 'rm -f "$FRESH"' EXIT
+
+"$BIN" manifest . --probe "$PROBE" -o "$FRESH"
+
+if [ "$UPDATE" = "1" ]; then
+  cp "$FRESH" FORMATS.lock
+  echo "run_abi.sh: FORMATS.lock updated"
+  exit 0
+fi
+
+if [ ! -f FORMATS.lock ]; then
+  echo "run_abi.sh: FAILED — FORMATS.lock is not committed; generate it:" >&2
+  echo "run_abi.sh:   tools/run_abi.sh --update" >&2
+  exit 1
+fi
+
+if cmp -s FORMATS.lock "$FRESH"; then
+  echo "run_abi.sh: OK — FORMATS.lock matches the tree"
+  exit 0
+fi
+
+echo "run_abi.sh: FORMATS.lock is stale; drift against the tree:" >&2
+diff -u FORMATS.lock "$FRESH" >&2 || true
+
+# The bump half: content drift is only legal together with a version bump of
+# the owning format. Exit 1 either way — the committed file must be updated —
+# but the diff verdict tells the author whether updating is *all* they need.
+echo "" >&2
+"$BIN" diff FORMATS.lock "$FRESH" >&2 || true
+echo "run_abi.sh: FAILED — regenerate (tools/run_abi.sh --update), fix any" >&2
+echo "run_abi.sh: VIOLATION above (bump the format's constant in" >&2
+echo "run_abi.sh: src/core/format_versions.h), and commit both." >&2
+exit 1
