@@ -39,6 +39,10 @@ const char* AuditCheckName(AuditCheck check) {
       return "serialization";
     case AuditCheck::kFlatLayout:
       return "flat-layout";
+    case AuditCheck::kDynamicLevels:
+      return "dynamic-levels";
+    case AuditCheck::kDynamicRegistry:
+      return "dynamic-registry";
   }
   return "unknown";
 }

@@ -68,6 +68,15 @@ enum class AuditCheck : uint8_t {
   /// 64-byte aligned and in bounds, secondary-structure sortedness and id
   /// ranges (DESIGN.md, "On-disk layout v2").
   kFlatLayout,
+  /// Batch-dynamic level-set shape (DESIGN.md §7): geometric level sizes
+  /// (slot s holds at most B * 2^s members), buffer under capacity at
+  /// quiescence, per-level id_map/geometry/corpus agreement with the
+  /// registry.
+  kDynamicLevels,
+  /// Batch-dynamic registry/tombstone consistency: dense ids, tombstones in
+  /// range, live count bookkeeping, every live id in exactly one component
+  /// and every dead id in at most one (carries drop tombstoned members).
+  kDynamicRegistry,
 };
 
 /// Short stable name for a check class ("tree-structure", "fanout", ...).

@@ -45,6 +45,7 @@
 #include "common/flat_hash.h"
 #include "core/balanced_cut.h"
 #include "core/dim_reduction.h"
+#include "core/dynamic_index.h"
 #include "core/framework.h"
 #include "core/node_directory.h"
 #include "core/orp_kw.h"
@@ -72,6 +73,9 @@ AuditReport AuditIndex(const SpKwBoxIndex<D, Scalar>& index,
                        const AuditOptions& options = AuditOptions());
 template <int D, typename Scalar>
 AuditReport AuditIndex(const RrKwIndex<D, Scalar>& index,
+                       const AuditOptions& options = AuditOptions());
+template <typename Family>
+AuditReport AuditIndex(const DynamicIndex<Family>& index,
                        const AuditOptions& options = AuditOptions());
 
 namespace internal_auditor {
@@ -1343,6 +1347,131 @@ AuditReport AuditIntervalTree(const IntervalTree<Scalar>& tree) {
                  "node unreachable from the root");
     }
   }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Batch-dynamic layer (core/dynamic_index.h; DESIGN.md §7). The auditor
+// works over a locked copy of the writer state (DebugAuditView), so it can
+// run while background merges are in flight; the quiescence-only checks
+// (buffer under capacity) are skipped mid-merge.
+// ---------------------------------------------------------------------------
+
+template <typename Family>
+AuditReport AuditIndex(const DynamicIndex<Family>& index,
+                       const AuditOptions& options) {
+  using View = typename DynamicIndex<Family>::AuditView;
+  AuditReport report;
+  const View view = index.DebugAuditView();
+  const std::vector<uint8_t>& dead = *view.dead;
+
+  // --- Registry/tombstone consistency (kDynamicRegistry). ---
+  if (view.geoms.size() != view.num_objects ||
+      view.docs.size() != view.num_objects) {
+    report.Add(AuditCheck::kDynamicRegistry, -1,
+               "registry holds %zu geometries / %zu documents for %llu ids",
+               view.geoms.size(), view.docs.size(),
+               static_cast<unsigned long long>(view.num_objects));
+    return report;  // Everything below indexes the registry by id.
+  }
+  if (dead.size() > view.num_objects) {
+    report.Add(AuditCheck::kDynamicRegistry, -1,
+               "tombstone bitmap covers %zu ids, registry has %llu",
+               dead.size(), static_cast<unsigned long long>(view.num_objects));
+  }
+  uint64_t dead_count = 0;
+  for (const uint8_t d : dead) dead_count += d != 0;
+  if (view.live_objects + dead_count != view.num_objects) {
+    report.Add(AuditCheck::kDynamicRegistry, -1,
+               "live (%llu) + dead (%llu) != inserted (%llu)",
+               static_cast<unsigned long long>(view.live_objects),
+               static_cast<unsigned long long>(dead_count),
+               static_cast<unsigned long long>(view.num_objects));
+  }
+  const auto is_dead = [&dead](ObjectId id) {
+    return id < dead.size() && dead[id] != 0;
+  };
+
+  // Membership: every live id in exactly one component (buffer or one
+  // level); dead ids in at most one (a carry that gathered the id dropped
+  // it). Counts occurrences across the whole decomposition.
+  std::vector<uint32_t> seen(view.num_objects, 0);
+  const auto count_member = [&](ObjectId id, const char* where,
+                                int64_t node) {
+    if (id >= view.num_objects) {
+      report.Add(AuditCheck::kDynamicRegistry, node,
+                 "%s holds unknown id %llu", where,
+                 static_cast<unsigned long long>(id));
+      return;
+    }
+    ++seen[id];
+  };
+  for (const ObjectId id : view.buffer_ids) count_member(id, "buffer", -1);
+  for (size_t slot = 0; slot < view.levels.size(); ++slot) {
+    if (view.levels[slot] == nullptr) continue;
+    for (const ObjectId id : view.levels[slot]->id_map) {
+      count_member(id, "level", static_cast<int64_t>(slot));
+    }
+  }
+  for (ObjectId id = 0; id < view.num_objects; ++id) {
+    if (!is_dead(id) && seen[id] != 1) {
+      report.Add(AuditCheck::kDynamicRegistry, -1,
+                 "live id %llu stored %u times (want exactly 1)",
+                 static_cast<unsigned long long>(id), seen[id]);
+    }
+    if (is_dead(id) && seen[id] > 1) {
+      report.Add(AuditCheck::kDynamicRegistry, -1,
+                 "tombstoned id %llu stored %u times (want at most 1)",
+                 static_cast<unsigned long long>(id), seen[id]);
+    }
+  }
+
+  // --- Level-set shape (kDynamicLevels). ---
+  if (!view.merge_inflight && view.buffer_ids.size() >= view.buffer_capacity) {
+    report.Add(AuditCheck::kDynamicLevels, -1,
+               "buffer holds %zu ids at quiescence (capacity %zu)",
+               view.buffer_ids.size(), view.buffer_capacity);
+  }
+  for (size_t slot = 0; slot < view.levels.size(); ++slot) {
+    const auto& level = view.levels[slot];
+    if (level == nullptr) continue;
+    const int64_t node = static_cast<int64_t>(slot);
+    const uint64_t cap = static_cast<uint64_t>(view.buffer_capacity)
+                         << std::min<size_t>(slot, 48);
+    if (level->id_map.size() > cap) {
+      report.Add(AuditCheck::kDynamicLevels, node,
+                 "level %zu holds %zu members, geometric bound is %llu",
+                 slot, level->id_map.size(),
+                 static_cast<unsigned long long>(cap));
+    }
+    if (level->geoms.size() != level->id_map.size() ||
+        level->corpus == nullptr ||
+        level->corpus->num_objects() != level->id_map.size() ||
+        level->index == nullptr) {
+      report.Add(AuditCheck::kDynamicLevels, node,
+                 "level %zu internal sizes disagree", slot);
+      continue;
+    }
+    for (size_t i = 0; i < level->id_map.size(); ++i) {
+      const ObjectId id = level->id_map[i];
+      if (id >= view.num_objects) continue;  // Reported above.
+      if (!(level->geoms[i] == view.geoms[id])) {
+        report.Add(AuditCheck::kDynamicLevels, node,
+                   "level %zu member %zu geometry diverged from registry",
+                   slot, i);
+      }
+      if (!(level->corpus->doc(static_cast<ObjectId>(i)) == *view.docs[id])) {
+        report.Add(AuditCheck::kDynamicLevels, node,
+                   "level %zu member %zu document diverged from registry",
+                   slot, i);
+      }
+    }
+    // Per-level static audit: each level is a full member of its family and
+    // must satisfy every paper invariant on its own.
+    AuditReport sub = AuditIndex(*level->index, options);
+    report.Merge(sub, "level " + std::to_string(slot) + ": ");
+  }
+  report.objects_checked += view.num_objects;
   return report;
 }
 

@@ -1,0 +1,84 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// EpochPtr<T>: single-publisher, multi-reader snapshot publication.
+//
+// The batch-dynamic layer (core/dynamic_index.h) serves queries against an
+// *immutable* snapshot of its level set while the writer mutates its own
+// private state and background merges rebuild levels on the ThreadPool. The
+// protocol is the classic epoch scheme, reduced to its load-bearing core:
+//
+//   - the publisher builds a fresh immutable T off to the side, then installs
+//     it with Publish(), bumping the epoch counter;
+//   - readers Acquire() a shared_ptr<const T>; everything reachable from a
+//     published T is frozen forever, so a reader's snapshot stays valid for
+//     as long as it holds the pointer — no locks on the query path beyond the
+//     pointer copy, no reader ever observes a half-built state;
+//   - old snapshots die by refcount when the last reader drops out.
+//
+// The pointer handoff is guarded by an annotated Mutex (common/mutex.h), not
+// by atomic<shared_ptr>: the critical section is two pointer copies, the
+// annotations keep the guarded state inside clang's thread-safety analysis,
+// and kwsc-lint's epoch-nonapi-access rule can then enforce that *all*
+// access to a published level set goes through Acquire/Publish — mutation of
+// live snapshots is a lint error, not a code-review hope.
+//
+// Contract (the part the types cannot express): T and everything it owns
+// must be deep-immutable after Publish. Publish a *new* T built from copies;
+// never mutate a T that has ever been published.
+
+#ifndef KWSC_COMMON_EPOCH_H_
+#define KWSC_COMMON_EPOCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace kwsc {
+
+template <typename T>
+class EpochPtr {
+ public:
+  EpochPtr() = default;
+  explicit EpochPtr(std::shared_ptr<const T> initial)
+      : current_(std::move(initial)) {}
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  /// The reader entry point: returns the currently published snapshot (may
+  /// be null before the first Publish). The returned object is immutable and
+  /// outlives any concurrent Publish for as long as the caller holds it.
+  std::shared_ptr<const T> Acquire() const {
+    MutexLock lock(&mu_);
+    return current_;
+  }
+
+  /// The publisher entry point: atomically installs `next` as the snapshot
+  /// every subsequent Acquire observes, and returns the new epoch number
+  /// (monotone from 1). The previous snapshot is released here but stays
+  /// alive until its last reader drops it.
+  uint64_t Publish(std::shared_ptr<const T> next) {
+    MutexLock lock(&mu_);
+    current_ = std::move(next);
+    return ++epoch_;
+  }
+
+  /// The number of Publish calls so far. A reader pair (epoch before, epoch
+  /// after) brackets whether its snapshot was current for the whole read.
+  uint64_t epoch() const {
+    MutexLock lock(&mu_);
+    return epoch_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::shared_ptr<const T> current_ KWSC_GUARDED_BY(mu_);
+  uint64_t epoch_ KWSC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace kwsc
+
+#endif  // KWSC_COMMON_EPOCH_H_

@@ -184,6 +184,38 @@ concept KwIndexFamily = PointBuildable<Index> && ExposesArity<Index> &&
                         MemoryAccounted<Index> &&
                         BudgetedKwQueryable<Index, Region>;
 
+namespace contracts_internal {
+/// Emit-callback shape probe for DynamizableFamily: QueryEmit must accept a
+/// callable taking the emitted ObjectId and returning bool (false stops the
+/// query early).
+struct DynamicEmitProbe {
+  bool operator()(ObjectId) const { return true; }
+};
+}  // namespace contracts_internal
+
+/// The surface core/dynamic_index.h dynamizes (any family satisfying this
+/// gets batched insert/delete, background merges, and epoch-snapshot reads
+/// for free). Beyond the static KwIndexFamily shape, dynamization needs the
+/// family to name the *element geometry* it is built from and the *query
+/// region* it answers, expose the exact region/element match predicate the
+/// insertion-buffer brute scan runs (the same predicate the static index's
+/// leaves apply, so buffer and level answers agree), and provide the
+/// streaming QueryEmit the per-level fan-out translates ids through.
+template <typename Index>
+concept DynamizableFamily =
+    ExposesArity<Index> && MemoryAccounted<Index> &&
+    std::constructible_from<Index,
+                            std::span<const typename Index::DynamicGeomType>,
+                            const Corpus*, FrameworkOptions> &&
+    requires(const Index& index, const typename Index::DynamicRegionType& q,
+             const typename Index::DynamicGeomType& g,
+             std::span<const KeywordId> keywords, QueryStats* stats,
+             OpsBudget* budget) {
+      { Index::MatchesRegion(q, g) } -> std::same_as<bool>;
+      index.QueryEmit(q, keywords, contracts_internal::DynamicEmitProbe{},
+                      stats, budget);
+    };
+
 /// Registered with the runtime auditor by befriending audit::AuditAccess and
 /// exposing a node arena + options under the uniform member naming
 /// (nodes_/options_). Families that wrap another family whole (RR-KW,

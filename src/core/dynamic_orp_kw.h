@@ -1,199 +1,28 @@
 // Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
 //
-// Insertions over the static Theorem-1 index via the logarithmic method
-// (Bentley–Saxe decomposition).
+// Insertions (and now deletions) over the static Theorem-1 index via the
+// logarithmic method — the ORP-KW instantiation of the generic batch-dynamic
+// layer.
 //
-// The paper's indexes are static — updates are outside its scope. ORP-KW is
-// a *decomposable* search problem (the answer over a union of parts is the
-// union of the answers), so the classic transformation applies: maintain a
-// small insertion buffer plus a sequence of static OrpKwIndex instances of
-// geometrically growing sizes; an insertion that overflows the buffer
-// rebuilds the smallest run of full levels into the first empty one. Each
-// object is rebuilt O(log n) times, so insertion costs O(polylog n)
-// amortized index-build work, and a query fans out to the buffer plus
-// O(log n) static indexes — multiplying the static query bound by O(log n).
-//
-// Storage: every inserted object lives exactly once in the global registry
-// (all_docs_/all_points_, indexed by insertion id). The buffer is just the
-// id list buffer_ids_ pointing into that registry, and each static level
-// keeps the copies its OrpKwIndex needs; MemoryBytes() charges the registry
-// once plus the per-level copies.
-//
-// Budgeted queries (footnote 4): Query takes an optional OpsBudget shared
-// across the buffer scan and every level. Budgeted termination is global —
-// once any component exhausts the budget, the remaining levels are not
-// visited at all (the fan-out short-circuits, mirroring the static index's
-// early return).
+// This header used to carry a hand-rolled single-family Bentley–Saxe
+// implementation; that machinery now lives in core/dynamic_index.h,
+// parameterized over any DynamizableFamily (core/contracts.h), with batched
+// insert/delete, tombstones, background level merges, and epoch-snapshot
+// concurrent reads. The alias below preserves the original name and the
+// original semantics: constructed without a merge pool, carries run
+// synchronously and the structure behaves exactly as the hand-rolled
+// version did (tests/dynamic_test.cc passes unchanged).
 
 #ifndef KWSC_CORE_DYNAMIC_ORP_KW_H_
 #define KWSC_CORE_DYNAMIC_ORP_KW_H_
 
-#include <memory>
-#include <span>
-#include <vector>
-
-#include "common/macros.h"
-#include "common/ops_budget.h"
-#include "core/framework.h"
+#include "core/dynamic_index.h"
 #include "core/orp_kw.h"
-#include "geom/box.h"
-#include "geom/point.h"
-#include "text/corpus.h"
 
 namespace kwsc {
 
 template <int D, typename Scalar = double>
-class DynamicOrpKwIndex {
- public:
-  using PointType = Point<D, Scalar>;
-  using BoxType = Box<D, Scalar>;
-
-  explicit DynamicOrpKwIndex(FrameworkOptions options,
-                             size_t buffer_capacity = 64)
-      : options_(options),
-        buffer_capacity_(std::max<size_t>(1, buffer_capacity)) {
-    KWSC_CHECK(options_.k >= 2 && options_.k <= 8);
-  }
-
-  /// Inserts one object; returns its id (insertion order, dense from 0).
-  /// The document must be non-empty.
-  ObjectId Insert(const PointType& point, Document doc) {
-    KWSC_CHECK_MSG(!doc.empty(), "objects need non-empty documents");
-    const ObjectId id = static_cast<ObjectId>(num_objects_++);
-    buffer_ids_.push_back(id);
-    all_docs_.push_back(std::move(doc));
-    all_points_.push_back(point);
-    if (buffer_ids_.size() >= buffer_capacity_) Carry();
-    return id;
-  }
-
-  size_t num_objects() const { return num_objects_; }
-  size_t num_levels() const { return levels_.size(); }
-
-  /// The number of non-empty static levels (exposed so tests can check the
-  /// binary-counter shape of the decomposition).
-  size_t ActiveLevels() const {
-    size_t active = 0;
-    for (const auto& level : levels_) active += level != nullptr;
-    return active;
-  }
-
-  /// Reports q ∩ D(w1,...,wk) over everything inserted so far, as global
-  /// insertion-order ids. `budget`, when non-null, caps the work across the
-  /// whole decomposition: the buffer scan and every level charge the same
-  /// budget, and the first component to exhaust it ends the query — no
-  /// further level is visited (stats->budget_exhausted reports the cut).
-  std::vector<ObjectId> Query(const BoxType& q,
-                              std::span<const KeywordId> keywords,
-                              QueryStats* stats = nullptr,
-                              OpsBudget* budget = nullptr) const {
-    const std::vector<KeywordId> sorted =
-        CanonicalizeQueryKeywords(keywords, options_.k);
-    OpsBudget unlimited;
-    if (budget == nullptr) budget = &unlimited;
-    std::vector<ObjectId> out;
-    // Buffer: brute scan (it holds O(1) objects by construction).
-    for (ObjectId id : buffer_ids_) {
-      if (!budget->Charge()) {
-        if (stats != nullptr) stats->budget_exhausted = true;
-        return out;
-      }
-      if (stats != nullptr) ++stats->pivot_checks;
-      if (q.Contains(all_points_[id]) &&
-          all_docs_[id].ContainsAll(sorted.data(), sorted.size())) {
-        out.push_back(id);
-      }
-    }
-    // Static levels: delegate and translate local ids. Budgeted termination
-    // is global, not per level: an exhausted budget stops the fan-out.
-    for (const auto& level : levels_) {
-      if (level == nullptr) continue;
-      level->index->QueryEmit(
-          q, sorted,
-          [&](ObjectId local) {
-            out.push_back(level->id_map[local]);
-            return true;
-          },
-          stats, budget);
-      if (budget->Exhausted()) {
-        if (stats != nullptr) stats->budget_exhausted = true;
-        break;
-      }
-    }
-    return out;
-  }
-
-  size_t MemoryBytes() const {
-    size_t total = VectorBytes(buffer_ids_) + VectorBytes(all_points_);
-    for (const Document& d : all_docs_) total += d.MemoryBytes();
-    for (const auto& level : levels_) {
-      if (level == nullptr) continue;
-      total += level->corpus->MemoryBytes() + level->index->MemoryBytes() +
-               VectorBytes(level->id_map) + VectorBytes(level->points);
-    }
-    return total;
-  }
-
- private:
-  struct Level {
-    std::unique_ptr<Corpus> corpus;
-    std::vector<PointType> points;
-    std::vector<ObjectId> id_map;  // Local id -> global id.
-    std::unique_ptr<OrpKwIndex<D, Scalar>> index;
-  };
-
-  // Binary-counter carry: gather the buffer plus every consecutive full
-  // level, rebuild them into the first empty slot.
-  void Carry() {
-    std::vector<ObjectId> ids = std::move(buffer_ids_);
-    buffer_ids_.clear();
-    std::vector<PointType> points;
-    std::vector<Document> docs;
-    points.reserve(ids.size());
-    docs.reserve(ids.size());
-    for (ObjectId id : ids) {
-      points.push_back(all_points_[id]);
-      docs.push_back(all_docs_[id]);
-    }
-
-    size_t slot = 0;
-    while (slot < levels_.size() && levels_[slot] != nullptr) {
-      Level& level = *levels_[slot];
-      for (size_t i = 0; i < level.id_map.size(); ++i) {
-        ids.push_back(level.id_map[i]);
-        points.push_back(level.points[i]);
-        docs.push_back(all_docs_[level.id_map[i]]);
-      }
-      levels_[slot] = nullptr;
-      ++slot;
-    }
-    if (slot == levels_.size()) levels_.emplace_back(nullptr);
-
-    auto level = std::make_unique<Level>();
-    level->points = std::move(points);
-    level->id_map = std::move(ids);
-    level->corpus = std::make_unique<Corpus>(std::move(docs));
-    level->index = std::make_unique<OrpKwIndex<D, Scalar>>(
-        std::span<const PointType>(level->points), level->corpus.get(),
-        options_);
-    levels_[slot] = std::move(level);
-  }
-
-  FrameworkOptions options_;
-  size_t buffer_capacity_;
-  size_t num_objects_ = 0;
-
-  // Buffered objects, as ids into the global registry below (the buffer owns
-  // no copies of its own — see the storage note in the file header).
-  std::vector<ObjectId> buffer_ids_;
-
-  // Global object registry (documents/points by insertion id). The buffer
-  // scan reads it directly; Document copies in levels are rebuilt from here.
-  std::vector<Document> all_docs_;
-  std::vector<PointType> all_points_;
-
-  std::vector<std::unique_ptr<Level>> levels_;
-};
+using DynamicOrpKwIndex = DynamicIndex<OrpKwIndex<D, Scalar>>;
 
 }  // namespace kwsc
 

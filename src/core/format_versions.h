@@ -57,6 +57,12 @@ inline constexpr uint32_t kSrpKwFormatVersion = 1;
 /// kwsc-abi: format ksi tags=KWK2 files=ksi/framework_ksi
 inline constexpr uint32_t kKsiFormatVersion = 1;
 
+/// The batch-dynamic checkpoint ("KWDY" v1 stream): registry + tombstones +
+/// buffer + the level manifest; levels are rebuilt deterministically on
+/// load (core/dynamic_index.h).
+/// kwsc-abi: format dynamic-checkpoint tags=KWDY files=core/dynamic_index
+inline constexpr uint32_t kDynamicCheckpointFormatVersion = 1;
+
 /// Shared persisted substructures every family embeds: the framework
 /// options image, NodeDirectory's stream and flat forms, the flat node
 /// records and directory pools, rank-space images, and the geometric Pods

@@ -64,6 +64,15 @@ class OrpKwIndex {
   using BoxType = Box<D, Scalar>;
   using RankBox = Box<D, int64_t>;
 
+  // Batch-dynamic surface (DynamizableFamily, core/contracts.h): built from
+  // points, queried with boxes; the dynamization buffer scan runs the same
+  // containment test the static leaves apply.
+  using DynamicGeomType = PointType;
+  using DynamicRegionType = BoxType;
+  static bool MatchesRegion(const BoxType& q, const PointType& p) {
+    return q.Contains(p);
+  }
+
   /// Builds the index over `points` (one per corpus object, same order).
   /// `corpus` must outlive the index.
   ///

@@ -47,6 +47,15 @@ class RrKwIndex {
       std::conditional_t<kLiftedDim <= 2, OrpKwIndex<kLiftedDim, Scalar>,
                          DimRedOrpKwIndex<kLiftedDim, Scalar>>;
 
+  // Batch-dynamic surface (DynamizableFamily, core/contracts.h): built from
+  // data rectangles, queried with rectangles; the dynamization buffer scan
+  // runs the overlap test the lifted dominance query encodes.
+  using DynamicGeomType = RectType;
+  using DynamicRegionType = RectType;
+  static bool MatchesRegion(const RectType& q, const RectType& r) {
+    return q.Intersects(r);
+  }
+
   /// Builds over one rectangle per corpus object.
   RrKwIndex(std::span<const RectType> rects, const Corpus* corpus,
             FrameworkOptions options) {

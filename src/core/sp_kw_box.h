@@ -55,6 +55,15 @@ class SpKwBoxIndex {
   using PointType = Point<D, Scalar>;
   using QueryType = ConvexQuery<D, Scalar>;
 
+  // Batch-dynamic surface (DynamizableFamily, core/contracts.h): built from
+  // points, queried with halfspace conjunctions; the dynamization buffer
+  // scan runs the same exact halfspace tests the cell pruning uses.
+  using DynamicGeomType = PointType;
+  using DynamicRegionType = QueryType;
+  static bool MatchesRegion(const QueryType& q, const PointType& p) {
+    return q.Satisfies(p);
+  }
+
   SpKwBoxIndex(std::span<const PointType> points, const Corpus* corpus,
                FrameworkOptions options)
       : corpus_(corpus), options_(options) {

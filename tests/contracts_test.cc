@@ -93,6 +93,23 @@ static_assert(!PointBuildable<RrKwIndex<2>> ||
               "RR-KW builds from rectangles");
 
 // ---------------------------------------------------------------------------
+// Batch-dynamic layer (core/dynamic_index.h): any family exposing the
+// DynamizableFamily surface — span-construction, a static region/geometry
+// match predicate, and an emit-functor query — plugs into DynamicIndex.
+// Three structurally different families prove the concept generalizes:
+// points-in-boxes, points-in-halfspace-conjunctions, rect-rect intersection.
+// ---------------------------------------------------------------------------
+static_assert(DynamizableFamily<OrpKwIndex<1>>);
+static_assert(DynamizableFamily<OrpKwIndex<2>>);
+static_assert(DynamizableFamily<OrpKwIndex<3>>);
+static_assert(DynamizableFamily<SpKwBoxIndex<2>>);
+static_assert(DynamizableFamily<RrKwIndex<1>>);
+static_assert(DynamizableFamily<RrKwIndex<2>>);
+// The dimension-reduction tree exposes no emit-functor query surface and is
+// deliberately outside the dynamization contract (rebuild it instead).
+static_assert(!DynamizableFamily<DimRedOrpKwIndex<3>>);
+
+// ---------------------------------------------------------------------------
 // L∞NN-KW (Corollary 5) and L2NN-KW (Corollary 7): t-nearest surface.
 // Persistence exists exactly where the engine is the kd-path (D <= 2).
 // ---------------------------------------------------------------------------

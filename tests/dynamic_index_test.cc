@@ -1,0 +1,408 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Tests for the generic batch-dynamic layer (core/dynamic_index.h) across
+// three families: ORP-KW (points/boxes), SP-KW-Box (points/halfspace
+// conjunctions), and RR-KW (rectangles/rectangles). The hard invariants:
+// batched insert/delete sequences answer exactly like a freshly built
+// static index over the live object set, the multi-level auditor is clean
+// at every checkpoint, and Save after quiescence is byte-identical to a
+// from-scratch build. Plus: checkpoint round-trips, registry-once memory
+// accounting through insert→delete→reinsert cycles, and background merges
+// with concurrent-consistency spot checks.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/dynamic_index.h"
+#include "core/dynamic_orp_kw.h"
+#include "core/orp_kw.h"
+#include "core/rr_kw.h"
+#include "core/sp_kw_box.h"
+#include "geom/halfspace.h"
+#include "test_util.h"
+
+namespace kwsc {
+namespace {
+
+using testing::ExpectAuditClean;
+using testing::Sorted;
+
+Document RandomDoc(Rng& rng) {
+  std::vector<KeywordId> kws;
+  const int len = 2 + static_cast<int>(rng.NextBounded(4));
+  while (static_cast<int>(kws.size()) < len) {
+    KeywordId w = static_cast<KeywordId>(rng.NextBounded(30));
+    if (std::find(kws.begin(), kws.end(), w) == kws.end()) kws.push_back(w);
+  }
+  return Document(std::move(kws));
+}
+
+std::vector<KeywordId> RandomQueryKeywords(Rng& rng) {
+  return {static_cast<KeywordId>(rng.NextBounded(15)),
+          static_cast<KeywordId>(15 + rng.NextBounded(15))};
+}
+
+// ---- Per-family generators and the family-appropriate Save bytes. ----
+
+struct OrpFamilyCase {
+  using Family = OrpKwIndex<2>;
+  static Point<2> MakeGeom(Rng& rng) {
+    return Point<2>{{rng.NextDouble(), rng.NextDouble()}};
+  }
+  static Box<2> MakeRegion(Rng& rng) {
+    Box<2> q;
+    for (int dim = 0; dim < 2; ++dim) {
+      const double a = rng.NextDouble();
+      const double b = rng.NextDouble();
+      q.lo[dim] = std::min(a, b);
+      q.hi[dim] = std::max(a, b);
+    }
+    return q;
+  }
+  static std::string SaveBytes(const Family& index) {
+    std::ostringstream out;
+    index.Save(&out);
+    return out.str();
+  }
+};
+
+struct SpFamilyCase {
+  using Family = SpKwBoxIndex<2>;
+  static Point<2> MakeGeom(Rng& rng) {
+    return Point<2>{{rng.NextDouble(), rng.NextDouble()}};
+  }
+  static ConvexQuery<2> MakeRegion(Rng& rng) {
+    ConvexQuery<2> q;
+    for (int i = 0; i < 3; ++i) {
+      Halfspace<2> h;
+      h.coeffs = {rng.NextDouble() * 2 - 1, rng.NextDouble() * 2 - 1};
+      h.rhs = rng.NextDouble() * 1.2 - 0.2;
+      q.constraints.push_back(h);
+    }
+    return q;
+  }
+  static std::string SaveBytes(const Family& index) {
+    std::ostringstream out;
+    index.Save(&out);
+    return out.str();
+  }
+};
+
+struct RrFamilyCase {
+  using Family = RrKwIndex<1>;
+  static Box<1> MakeGeom(Rng& rng) {
+    Box<1> r;
+    r.lo[0] = rng.NextDouble();
+    r.hi[0] = r.lo[0] + rng.NextDouble() * 0.1;
+    return r;
+  }
+  static Box<1> MakeRegion(Rng& rng) {
+    Box<1> q;
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    q.lo[0] = std::min(a, b);
+    q.hi[0] = std::max(a, b);
+    return q;
+  }
+  static std::string SaveBytes(const Family& index) {
+    std::ostringstream out;
+    index.SaveFlat(&out);
+    return out.str();
+  }
+};
+
+template <typename Case>
+class DynamicIndexTest : public ::testing::Test {};
+
+using FamilyCases =
+    ::testing::Types<OrpFamilyCase, SpFamilyCase, RrFamilyCase>;
+TYPED_TEST_SUITE(DynamicIndexTest, FamilyCases);
+
+// Batched inserts and tombstone deletes, checked at every round against a
+// freshly built static index over the live object set: identical answers,
+// clean multi-level audits, and (after quiescence) byte-identical Save.
+TYPED_TEST(DynamicIndexTest, BatchedUpdatesMatchFreshStaticBuild) {
+  using Case = TypeParam;
+  using Family = typename Case::Family;
+  using Geom = typename Family::DynamicGeomType;
+  Rng rng(977);
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicIndex<Family> dynamic(opt, /*buffer_capacity=*/16);
+
+  std::vector<Geom> geoms;
+  std::vector<Document> docs;
+  std::vector<bool> live;
+  for (int round = 0; round < 10; ++round) {
+    const size_t batch = 1 + rng.NextBounded(40);
+    std::vector<Geom> batch_geoms;
+    std::vector<Document> batch_docs;
+    for (size_t i = 0; i < batch; ++i) {
+      batch_geoms.push_back(Case::MakeGeom(rng));
+      batch_docs.push_back(RandomDoc(rng));
+      geoms.push_back(batch_geoms.back());
+      docs.push_back(batch_docs.back());
+      live.push_back(true);
+    }
+    const ObjectId first = dynamic.InsertBatch(batch_geoms, batch_docs);
+    EXPECT_EQ(first, static_cast<ObjectId>(geoms.size() - batch));
+
+    if (round > 0) {
+      std::vector<ObjectId> doomed;
+      for (ObjectId id = 0; id < live.size(); ++id) {
+        if (live[id] && rng.NextBounded(5) == 0) doomed.push_back(id);
+      }
+      EXPECT_EQ(dynamic.DeleteBatch(doomed), doomed.size());
+      for (ObjectId id : doomed) live[id] = false;
+    }
+
+    ExpectAuditClean(dynamic);
+    EXPECT_EQ(dynamic.num_objects(), geoms.size());
+    EXPECT_EQ(dynamic.live_objects(),
+              static_cast<size_t>(
+                  std::count(live.begin(), live.end(), true)));
+
+    // Oracle: a fresh static index over the live objects, ids translated
+    // back to global insertion order.
+    std::vector<Geom> live_geoms;
+    std::vector<Document> live_docs;
+    std::vector<ObjectId> live_ids;
+    for (ObjectId id = 0; id < live.size(); ++id) {
+      if (!live[id]) continue;
+      live_geoms.push_back(geoms[id]);
+      live_docs.push_back(docs[id]);
+      live_ids.push_back(id);
+    }
+    const Corpus corpus(live_docs);
+    const Family fresh(live_geoms, &corpus, opt);
+    for (int qi = 0; qi < 6; ++qi) {
+      const auto region = Case::MakeRegion(rng);
+      const std::vector<KeywordId> kws = RandomQueryKeywords(rng);
+      std::vector<ObjectId> want;
+      for (ObjectId local : fresh.Query(region, kws)) {
+        want.push_back(live_ids[local]);
+      }
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(Sorted(dynamic.Query(region, kws)), want)
+          << "round " << round << " query " << qi;
+    }
+  }
+
+  // Save after quiescence == from-scratch build over the live set.
+  dynamic.WaitQuiescent();
+  const auto compact = dynamic.Compact();
+  std::vector<Geom> live_geoms;
+  std::vector<Document> live_docs;
+  std::vector<ObjectId> live_ids;
+  for (ObjectId id = 0; id < live.size(); ++id) {
+    if (!live[id]) continue;
+    live_geoms.push_back(geoms[id]);
+    live_docs.push_back(docs[id]);
+    live_ids.push_back(id);
+  }
+  EXPECT_EQ(compact.ids, live_ids);
+  const Corpus corpus(live_docs);
+  const Family scratch(live_geoms, &corpus, opt);
+  EXPECT_EQ(Case::SaveBytes(*compact.index), Case::SaveBytes(scratch));
+}
+
+// The "KWDY" checkpoint round-trips: a loaded checkpoint answers like the
+// original, audits clean, and re-saves byte-identically.
+TYPED_TEST(DynamicIndexTest, CheckpointRoundTripsByteIdentically) {
+  using Case = TypeParam;
+  using Family = typename Case::Family;
+  Rng rng(1789);
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicIndex<Family> dynamic(opt, /*buffer_capacity=*/8);
+  for (int i = 0; i < 83; ++i) {
+    const ObjectId id = dynamic.Insert(Case::MakeGeom(rng), RandomDoc(rng));
+    if (i % 7 == 3) {
+      EXPECT_TRUE(dynamic.Delete(id));
+    }
+  }
+
+  std::ostringstream out;
+  dynamic.SaveCheckpoint(&out);
+  std::istringstream in(out.str());
+  const auto loaded = DynamicIndex<Family>::LoadCheckpoint(&in);
+  ASSERT_NE(loaded, nullptr);
+  ExpectAuditClean(*loaded);
+  EXPECT_EQ(loaded->num_objects(), dynamic.num_objects());
+  EXPECT_EQ(loaded->live_objects(), dynamic.live_objects());
+  EXPECT_EQ(loaded->ActiveLevels(), dynamic.ActiveLevels());
+  for (int qi = 0; qi < 8; ++qi) {
+    const auto region = Case::MakeRegion(rng);
+    const std::vector<KeywordId> kws = RandomQueryKeywords(rng);
+    EXPECT_EQ(Sorted(loaded->Query(region, kws)),
+              Sorted(dynamic.Query(region, kws)));
+  }
+  std::ostringstream again;
+  loaded->SaveCheckpoint(&again);
+  EXPECT_EQ(out.str(), again.str());
+}
+
+// Delete semantics: tombstoning is idempotent, ids are never reused, and
+// deleted objects vanish from answers immediately — before any carry
+// physically drops them.
+TEST(DynamicIndexDeletes, TombstonesFilterImmediately) {
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/4);
+  const ObjectId a = dynamic.Insert({{0.2, 0.2}}, Document{1, 2});
+  const ObjectId b = dynamic.Insert({{0.8, 0.8}}, Document{1, 2});
+  const std::vector<KeywordId> kws = {1, 2};
+  const Box<2> everywhere{{{0, 0}}, {{1, 1}}};
+  EXPECT_EQ(Sorted(dynamic.Query(everywhere, kws)),
+            (std::vector<ObjectId>{a, b}));
+  EXPECT_TRUE(dynamic.Delete(a));
+  EXPECT_FALSE(dynamic.Delete(a));  // Idempotent: already tombstoned.
+  EXPECT_EQ(dynamic.Query(everywhere, kws), (std::vector<ObjectId>{b}));
+  EXPECT_EQ(dynamic.live_objects(), 1u);
+  EXPECT_EQ(dynamic.num_objects(), 2u);
+  const ObjectId c = dynamic.Insert({{0.5, 0.5}}, Document{1, 2});
+  EXPECT_EQ(c, 2u);  // Ids are never reused after Delete.
+  ExpectAuditClean(dynamic);
+}
+
+// Registry-once accounting through insert→delete→reinsert cycles: a
+// tombstoned id's document stays charged exactly once (the registry retains
+// it; ids are never reused), and a reinsert of the same content charges
+// exactly one more copy — never zero, never two.
+TEST(DynamicIndexMemory, RegistryOnceAccountingSurvivesDeleteReinsertCycles) {
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/8);
+  Rng rng(641);
+  for (int i = 0; i < 8; ++i) {  // Fill to exactly one carry: empty buffer.
+    dynamic.Insert({{rng.NextDouble(), rng.NextDouble()}},
+                   Document{static_cast<KeywordId>(i), 100});
+  }
+  std::vector<KeywordId> big(10000);
+  std::iota(big.begin(), big.end(), 0);
+  const Document big_doc(big);
+  const size_t doc_bytes = big.size() * sizeof(KeywordId);
+
+  size_t base = dynamic.MemoryBytes();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const ObjectId id = dynamic.Insert({{0.5, 0.5}}, big_doc);
+    const size_t after_insert = dynamic.MemoryBytes();
+    EXPECT_GE(after_insert - base, doc_bytes) << "cycle " << cycle;
+    EXPECT_LT(after_insert - base, doc_bytes + doc_bytes / 2)
+        << "cycle " << cycle;
+
+    EXPECT_TRUE(dynamic.Delete(id));
+    const size_t after_delete = dynamic.MemoryBytes();
+    // The tombstoned registry entry is retained and charged exactly once:
+    // deleting neither frees it nor double-counts it.
+    EXPECT_GE(after_delete - base, doc_bytes) << "cycle " << cycle;
+    EXPECT_LT(after_delete - base, doc_bytes + doc_bytes / 2)
+        << "cycle " << cycle;
+    base = after_delete;
+  }
+  ExpectAuditClean(dynamic);
+}
+
+// A carry that gathers tombstoned members drops them from the level but
+// keeps them in the registry: queries stay correct and audits stay clean
+// across the physical reclamation.
+TEST(DynamicIndexDeletes, CarryDropsTombstonedMembers) {
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/4);
+  Rng rng(733);
+  std::vector<bool> live;
+  for (int i = 0; i < 40; ++i) {
+    const ObjectId id = dynamic.Insert(
+        {{rng.NextDouble(), rng.NextDouble()}},
+        Document{static_cast<KeywordId>(i % 5),
+                 static_cast<KeywordId>(5 + i % 3)});
+    live.push_back(true);
+    if (i % 3 == 1) {
+      EXPECT_TRUE(dynamic.Delete(id));
+      live[id] = false;
+    }
+    ExpectAuditClean(dynamic);
+  }
+  // Tombstoned members gathered by carries were dropped; the level set now
+  // holds fewer members than were ever inserted, but every live id answers.
+  const Box<2> everywhere{{{0, 0}}, {{1, 1}}};
+  const std::vector<KeywordId> kws = {0, 5};
+  std::vector<ObjectId> want;
+  for (ObjectId id = 0; id < live.size(); ++id) {
+    if (live[id] && id % 5 == 0 && (5 + id % 3) == 5) want.push_back(id);
+  }
+  EXPECT_EQ(Sorted(dynamic.Query(everywhere, kws)), want);
+  EXPECT_EQ(dynamic.num_objects(), 40u);
+  EXPECT_LT(dynamic.live_objects(), 40u);
+}
+
+// Background merges: with a merge pool, a single writer's inserts/deletes
+// publish immediately (queries between operations always see the full
+// object set) while carries rebuild levels off-thread. At quiescence the
+// audits and the compacted byte-identity hold exactly as in the
+// synchronous mode.
+TEST(DynamicIndexConcurrent, BackgroundMergesKeepAnswersExact) {
+  ThreadPool pool(3);
+  FrameworkOptions opt;
+  opt.k = 2;
+  DynamicOrpKwIndex<2> dynamic(opt, /*buffer_capacity=*/32, &pool);
+  Rng rng(1313);
+  std::vector<Point<2>> points;
+  std::vector<Document> docs;
+  std::vector<bool> live;
+  for (int step = 0; step < 1200; ++step) {
+    Point<2> p{{rng.NextDouble(), rng.NextDouble()}};
+    Document doc = RandomDoc(rng);
+    points.push_back(p);
+    docs.push_back(doc);
+    live.push_back(true);
+    dynamic.Insert(p, std::move(doc));
+    if (step % 11 == 5) {
+      const ObjectId victim = static_cast<ObjectId>(rng.NextBounded(live.size()));
+      if (live[victim]) {
+        EXPECT_TRUE(dynamic.Delete(victim));
+        live[victim] = false;
+      }
+    }
+    if (step % 101 != 0) continue;
+    // The snapshot published by the Insert above already includes every
+    // object: merges change structure, never membership.
+    const Box<2> q = OrpFamilyCase::MakeRegion(rng);
+    const std::vector<KeywordId> kws = RandomQueryKeywords(rng);
+    std::vector<ObjectId> want;
+    for (ObjectId e = 0; e < points.size(); ++e) {
+      if (live[e] && q.Contains(points[e]) &&
+          docs[e].ContainsAll(kws.data(), kws.size())) {
+        want.push_back(e);
+      }
+    }
+    EXPECT_EQ(Sorted(dynamic.Query(q, kws)), want) << "step " << step;
+    ExpectAuditClean(dynamic);  // Audits are safe mid-merge.
+  }
+  dynamic.WaitQuiescent();
+  EXPECT_FALSE(dynamic.MergeInFlight());
+  ExpectAuditClean(dynamic);
+
+  const auto compact = dynamic.Compact();
+  std::vector<Point<2>> live_points;
+  std::vector<Document> live_docs;
+  for (ObjectId id = 0; id < live.size(); ++id) {
+    if (!live[id]) continue;
+    live_points.push_back(points[id]);
+    live_docs.push_back(docs[id]);
+  }
+  const Corpus corpus(live_docs);
+  const OrpKwIndex<2> scratch(live_points, &corpus, opt);
+  EXPECT_EQ(OrpFamilyCase::SaveBytes(*compact.index),
+            OrpFamilyCase::SaveBytes(scratch));
+}
+
+}  // namespace
+}  // namespace kwsc

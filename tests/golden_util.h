@@ -16,10 +16,13 @@
 #ifndef KWSC_TESTS_GOLDEN_UTIL_H_
 #define KWSC_TESTS_GOLDEN_UTIL_H_
 
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/dynamic_index.h"
 #include "core/orp_kw.h"
 #include "core/sp_kw_box.h"
 #include "geom/point.h"
@@ -28,8 +31,8 @@
 namespace kwsc {
 namespace golden {
 
-/// 8 objects over a 6-keyword vocabulary, keywords sorted per document.
-inline Corpus MakeCorpus() {
+/// 8 documents over a 6-keyword vocabulary, keywords sorted per document.
+inline std::vector<Document> MakeDocuments() {
   std::vector<Document> docs;
   docs.emplace_back(Document{0, 1});
   docs.emplace_back(Document{1, 2});
@@ -39,8 +42,10 @@ inline Corpus MakeCorpus() {
   docs.emplace_back(Document{0, 2, 4});
   docs.emplace_back(Document{3, 5});
   docs.emplace_back(Document{0, 5});
-  return Corpus(std::move(docs));
+  return docs;
 }
+
+inline Corpus MakeCorpus() { return Corpus(MakeDocuments()); }
 
 inline std::vector<Point<2>> MakePoints() {
   return {Point<2>{{1, 2}}, Point<2>{{3, 1}}, Point<2>{{2, 5}},
@@ -54,7 +59,25 @@ inline FrameworkOptions MakeOptions() {
   return opt;
 }
 
-/// name -> byte stream, for all five golden files.
+/// The batch-dynamic index whose "KWDY" checkpoint is golden-locked: the
+/// same 8 objects inserted one at a time through a capacity-2 buffer (so
+/// several binary-counter carries fire), then two tombstones. Synchronous
+/// carries (no merge pool), so the structure is a pure function of the
+/// update sequence.
+inline std::unique_ptr<DynamicIndex<OrpKwIndex<2>>> MakeDynamic() {
+  auto dyn = std::make_unique<DynamicIndex<OrpKwIndex<2>>>(
+      MakeOptions(), /*buffer_capacity=*/2);
+  const std::vector<Point<2>> pts = MakePoints();
+  std::vector<Document> docs = MakeDocuments();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    dyn->Insert(pts[i], std::move(docs[i]));
+  }
+  dyn->Delete(2);
+  dyn->Delete(5);
+  return dyn;
+}
+
+/// name -> byte stream, for all six golden files.
 struct GoldenFile {
   std::string name;
   std::string bytes;
@@ -91,6 +114,11 @@ inline std::vector<GoldenFile> RenderAll() {
     std::ostringstream out;
     sp.SaveFlat(&out);
     files.push_back({"sp_kw_box_v2.bin", out.str()});
+  }
+  {
+    std::ostringstream out;
+    MakeDynamic()->SaveCheckpoint(&out);
+    files.push_back({"dynamic_checkpoint_v1.bin", out.str()});
   }
   return files;
 }

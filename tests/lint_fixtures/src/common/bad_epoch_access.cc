@@ -1,0 +1,59 @@
+// Copyright 2026 The kwsc Authors. Licensed under the Apache License 2.0.
+//
+// Seeded epoch-nonapi-access violations: the batch-dynamic level set is
+// published through EpochPtr, and every access must go through the
+// Acquire/Publish/epoch API. Seeds: a direct poke at the guarded pointer, a
+// non-API method call, and an in-place mutation of an acquired (immutable)
+// snapshot. The API-conformant publisher/reader pair is the control, as is
+// mutating a fresh same-named local before it is published (the sanctioned
+// build-then-Publish pattern).
+//
+// Expected findings: exactly 3 x epoch-nonapi-access.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.h"
+
+namespace kwsc {
+
+struct LevelSet {
+  std::vector<int> levels;
+};
+
+class EpochDodger {
+ public:
+  void PublishThroughApi() {
+    // Control: building a fresh snapshot off to the side and mutating it
+    // before Publish is the protocol, not a violation.
+    auto snap = std::make_shared<LevelSet>();
+    snap->levels.push_back(1);
+    levels_.Publish(std::move(snap));
+  }
+
+  int ReadThroughApi() const {
+    const std::shared_ptr<const LevelSet> snap = levels_.Acquire();
+    if (snap == nullptr) return 0;
+    // Control: reads through an acquired snapshot are the whole point.
+    return static_cast<int>(snap->levels.size());
+  }
+
+  void PokePastTheApi(std::shared_ptr<const LevelSet> next) {
+    levels_.current_ = std::move(next);  // Violation: direct pointer poke.
+  }
+
+  void CallOffApiMethod() {
+    levels_.Reset();  // Violation: not Acquire/Publish/epoch.
+  }
+
+  void MutateAcquiredSnapshot() {
+    auto snap = levels_.Acquire();
+    snap->levels.push_back(7);  // Violation: published state is immutable.
+  }
+
+ private:
+  EpochPtr<LevelSet> levels_;
+};
+
+}  // namespace kwsc

@@ -242,6 +242,32 @@ TEST(LintFixtures, BadAbiVersionBumpFiresOnLiteralMagicVersion) {
   }
 }
 
+// --- epoch/snapshot discipline rule. Both halves must fire — non-API
+// access on the EpochPtr itself and in-place mutation of an acquired
+// snapshot — while the API-conformant publisher/reader controls (including
+// the build-then-Publish mutation of a fresh same-named local) stay clean.
+
+TEST(LintFixtures, BadEpochAccessFiresOutsideTheApi) {
+  const auto findings =
+      LintFixture("tests/lint_fixtures/src/common/bad_epoch_access.cc");
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("epoch-nonapi-access"), 3) << Render(findings);
+  EXPECT_EQ(counts.size(), 1u) << Render(findings);
+  bool poke = false;
+  bool off_api = false;
+  bool snapshot_mutation = false;
+  for (const Finding& f : findings) {
+    poke = poke || f.message.find("'levels_.current_'") != std::string::npos;
+    off_api =
+        off_api || f.message.find("'levels_.Reset'") != std::string::npos;
+    snapshot_mutation = snapshot_mutation ||
+                        (f.message.find("snapshot 'snap'") !=
+                             std::string::npos &&
+                         f.message.find("push_back") != std::string::npos);
+  }
+  EXPECT_TRUE(poke && off_api && snapshot_mutation) << Render(findings);
+}
+
 TEST(LintFixtures, GoodCleanIsClean) {
   const auto findings = LintFixture("tests/lint_fixtures/good_clean.cc");
   EXPECT_TRUE(findings.empty()) << Render(findings);

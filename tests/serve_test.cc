@@ -16,9 +16,12 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/dynamic_orp_kw.h"
 #include "core/orp_kw.h"
 #include "core/query_engine.h"
 #include "obs/metrics.h"
+#include "serve/dynamic_shard_replica.h"
 #include "serve/merge.h"
 #include "serve/shard_router.h"
 #include "test_util.h"
@@ -354,6 +357,130 @@ TEST(Coordinator, ShardBoundaryEdgeCases) {
   const auto tiny_result = tiny_coordinator.Run(tiny_batch);
   ASSERT_EQ(tiny_result.rows.size(), 1u);
   EXPECT_EQ(tiny_result.rows[0], (std::vector<ObjectId>{0}));
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic serving path (serve/dynamic_shard_replica.h): the coordinator
+// serves mixed update/query traffic, and its scatter-gather must stay
+// invisible — rows identical to one unsharded DynamicIndex fed the same
+// update stream, for every shard count, with and without background merges.
+// ---------------------------------------------------------------------------
+
+using DynCoordinator = DynamicCoordinator<OrpKwIndex<2>>;
+using DynUpdate = DynCoordinator::Update;
+
+TEST(DynamicCoordinator, MixedTrafficMatchesUnshardedDynamicIndex) {
+  Rng rng(5501);
+  FrameworkOptions opt;
+  opt.k = 2;
+  for (uint32_t shards : {1u, 3u, 4u}) {
+    ServeOptions serve;
+    DynCoordinator coordinator(shards, opt, serve, /*buffer_capacity=*/8);
+    DynamicOrpKwIndex<2> reference(opt, /*buffer_capacity=*/8);
+    std::vector<ObjectId> live;
+    for (int round = 0; round < 12; ++round) {
+      // A mixed stream: a burst of inserts with some interleaved deletes.
+      std::vector<DynUpdate> stream;
+      const size_t inserts = 5 + rng.NextBounded(20);
+      for (size_t i = 0; i < inserts; ++i) {
+        DynUpdate u;
+        u.kind = DynUpdate::Kind::kInsert;
+        u.geom = Point<2>{{rng.NextDouble(), rng.NextDouble()}};
+        u.doc = Document{static_cast<KeywordId>(rng.NextBounded(6)),
+                         static_cast<KeywordId>(6 + rng.NextBounded(6))};
+        stream.push_back(u);
+        if (!live.empty() && rng.NextBounded(4) == 0) {
+          DynUpdate del;
+          del.kind = DynUpdate::Kind::kDelete;
+          del.global_id = live[rng.NextBounded(live.size())];
+          live.erase(std::find(live.begin(), live.end(), del.global_id));
+          stream.push_back(del);
+        }
+      }
+      // Feed the reference the same stream (ids match: both assign in
+      // arrival order).
+      for (const DynUpdate& u : stream) {
+        if (u.kind == DynUpdate::Kind::kInsert) {
+          live.push_back(reference.Insert(u.geom, u.doc));
+        } else {
+          ASSERT_TRUE(reference.Delete(u.global_id));
+        }
+      }
+      coordinator.ApplyUpdates(stream);
+      ASSERT_EQ(coordinator.live_objects(), reference.live_objects());
+
+      std::vector<BatchQuery<Box<2>>> batch;
+      for (int qi = 0; qi < 4; ++qi) {
+        Box<2> q;
+        for (int dim = 0; dim < 2; ++dim) {
+          const double a = rng.NextDouble();
+          const double b = rng.NextDouble();
+          q.lo[dim] = std::min(a, b);
+          q.hi[dim] = std::max(a, b);
+        }
+        batch.push_back({q,
+                         {static_cast<KeywordId>(rng.NextBounded(6)),
+                          static_cast<KeywordId>(6 + rng.NextBounded(6))}});
+      }
+      const auto result = coordinator.Run(batch);
+      ASSERT_EQ(result.rows.size(), batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(result.rows[i],
+                  testing::Sorted(
+                      reference.Query(batch[i].region, batch[i].keywords)))
+            << "shards=" << shards << " round=" << round << " query " << i;
+      }
+    }
+    for (uint32_t s = 0; s < shards; ++s) {
+      testing::ExpectAuditClean(coordinator.replica(s).index());
+    }
+  }
+}
+
+TEST(DynamicCoordinator, BackgroundMergesAndTopTStayExact) {
+  ThreadPool merge_pool(2);
+  Rng rng(5503);
+  FrameworkOptions opt;
+  opt.k = 2;
+  ServeOptions serve;
+  serve.top_t = 5;
+  serve.selection_merge = true;
+  obs::MetricsRegistry registry;
+  DynamicCoordinator<OrpKwIndex<2>> coordinator(
+      3, opt, serve, /*buffer_capacity=*/16, &merge_pool, &registry);
+  DynamicOrpKwIndex<2> reference(opt, /*buffer_capacity=*/16);
+  for (int step = 0; step < 400; ++step) {
+    const Point<2> p{{rng.NextDouble(), rng.NextDouble()}};
+    const Document doc{static_cast<KeywordId>(rng.NextBounded(4)),
+                       static_cast<KeywordId>(4 + rng.NextBounded(4))};
+    const ObjectId id = coordinator.Insert(p, doc);
+    ASSERT_EQ(reference.Insert(p, doc), id);
+    if (step % 9 == 4) {
+      coordinator.Delete(id);
+      ASSERT_TRUE(reference.Delete(id));
+    }
+    if (step % 67 != 0) continue;
+    // Queries run mid-merge against each shard's snapshot; answers must
+    // still be exact because publishes are synchronous with the update.
+    Box<2> everywhere;
+    everywhere.lo = {{0.0, 0.0}};
+    everywhere.hi = {{1.0, 1.0}};
+    std::vector<BatchQuery<Box<2>>> batch{
+        {everywhere,
+         {static_cast<KeywordId>(rng.NextBounded(4)),
+          static_cast<KeywordId>(4 + rng.NextBounded(4))}}};
+    const auto result = coordinator.Run(batch);
+    std::vector<ObjectId> expected =
+        testing::Sorted(reference.Query(everywhere, batch[0].keywords));
+    if (expected.size() > serve.top_t) expected.resize(serve.top_t);
+    ASSERT_EQ(result.rows[0], expected) << "step " << step;
+  }
+  coordinator.WaitQuiescent();
+  for (uint32_t s = 0; s < 3; ++s) {
+    testing::ExpectAuditClean(coordinator.replica(s).index());
+  }
+  EXPECT_GT(registry.CounterValue("serve.updates"), 0u);
+  EXPECT_GT(registry.CounterValue("serve.queries"), 0u);
 }
 
 TEST(Merge, SelectTopTIsExactOnHandBuiltRows) {

@@ -141,6 +141,53 @@ if doc["name"] == "shard":
     if "speedup_s4" not in doc["gauges"]:
         fail("shard report missing gauge speedup_s4")
 
+# bench_update reports (name == "update") carry the batch-dynamic update
+# path; enforce the rebuild-baseline comparison, the exactness flag, and the
+# during-merge latency fields the p99-inflation claim reads.
+if doc["name"] == "update":
+    throughput = [p for p in doc["points"] if "speedup_vs_rebuild" in p]
+    if not throughput:
+        fail("update report has no throughput point")
+    required = ("N", "batch", "inserts", "deletes", "queries", "dynamic_us",
+                "rebuild_us", "dynamic_ops_per_s", "rebuild_ops_per_s",
+                "speedup_vs_rebuild", "identical")
+    for i, point in enumerate(throughput):
+        for field in required:
+            if field not in point:
+                fail(f"throughput point {i} missing {field}")
+        if point["identical"] != 1:
+            fail(f"throughput point {i}: dynamic rows diverged from the "
+                 "rebuild-from-scratch baseline")
+        if point["speedup_vs_rebuild"] is None or \
+                point["speedup_vs_rebuild"] <= 1:
+            fail(f"throughput point {i}: mixed throughput did not beat the "
+                 f"rebuild baseline "
+                 f"(speedup={point['speedup_vs_rebuild']!r})")
+    latency = [p for p in doc["points"] if "p99_ratio" in p]
+    if not latency:
+        fail("update report has no merge-latency point")
+    for i, point in enumerate(latency):
+        for field in ("merge_samples", "p99_quiescent_us", "p99_merge_us",
+                      "p99_ratio"):
+            if field not in point:
+                fail(f"merge-latency point {i} missing {field}")
+        if point["merge_samples"] is None or point["merge_samples"] < 1:
+            fail(f"merge-latency point {i}: no query completed during a "
+                 "background merge")
+        if point["p99_ratio"] is None or not 0 < point["p99_ratio"] <= 64:
+            fail(f"merge-latency point {i}: during-merge p99 inflation "
+                 f"unbounded (ratio={point['p99_ratio']!r})")
+    hist_names = {h["name"] for h in doc["histograms"]}
+    for hist in ("update.query.quiescent", "update.query.during_merge"):
+        if hist not in hist_names:
+            fail(f"update report missing histogram {hist}")
+    for counter in ("update.inserts", "update.deletes", "update.queries"):
+        if counter not in doc["counters"]:
+            fail(f"update report missing counter {counter}")
+    for gauge in ("speedup_vs_rebuild", "p99_merge_ratio"):
+        if gauge not in doc["gauges"]:
+            fail(f"update report missing gauge {gauge}")
+
 print(f"{path}: OK "
       f"({len(doc['points'])} points, {len(doc['histograms'])} histograms, "
       f"{len(doc['counters'])} counters)")

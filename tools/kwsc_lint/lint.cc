@@ -548,6 +548,107 @@ void LintAbiContracts(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+/// The epoch/snapshot discipline rule (scoped to paths containing src/,
+/// like the concurrency pack — which includes the seeded fixtures under
+/// tests/lint_fixtures/src/). common/epoch.h defines the vocabulary and is
+/// exempt. EpochPtr members are reached through Acquire/Publish/epoch only,
+/// and a snapshot handed out by Acquire is deep-immutable: mutating it in
+/// place would change what concurrent readers of the same epoch observe.
+template <typename ReportFn>
+void LintEpochDiscipline(const std::string& path,
+                         const std::vector<Token>& toks,
+                         const ReportFn& report) {
+  if (path.find("src/") == std::string::npos) return;
+  if (path.find("common/epoch.h") != std::string::npos) return;
+
+  // Declarations pass: identifiers declared with an EpochPtr<...> type.
+  std::set<std::string> epoch_ptrs;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::kIdent || toks[i].text != "EpochPtr" ||
+        toks[i + 1].text != "<") {
+      continue;
+    }
+    const size_t close = MatchingClose(toks, i + 1);
+    if (close >= toks.size()) continue;
+    const size_t decl = DeclaredIdent(toks, close + 1);
+    if (decl < toks.size()) epoch_ptrs.insert(toks[decl].text);
+  }
+  if (epoch_ptrs.empty()) return;
+
+  static const std::set<std::string> kEpochApi = {"Acquire", "Publish",
+                                                  "epoch"};
+  // Snapshot identifiers assigned from Acquire(), each with the token index
+  // where its enclosing block ends — the lexical lifetime of the taint.
+  // Scoping matters: a same-named local built fresh in another function
+  // (make_shared, filled in, then Published) is the sanctioned pattern.
+  std::map<std::string, size_t> snapshots;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != Token::kIdent) continue;
+
+    if (epoch_ptrs.count(tok.text) > 0 && i + 2 < toks.size() &&
+        (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+        toks[i + 2].kind == Token::kIdent) {
+      // --- non-API member access on the EpochPtr itself --------------------
+      if (kEpochApi.count(toks[i + 2].text) == 0) {
+        report(toks[i + 2].line, "epoch-nonapi-access",
+               "'" + tok.text + "." + toks[i + 2].text +
+                   "': an EpochPtr is reached through "
+                   "Acquire()/Publish()/epoch() only; poking past the API "
+                   "hands concurrent readers a half-built or mutable level "
+                   "set");
+        continue;
+      }
+      // --- taint: `name = <epoch_ptr>.Acquire(...)` ------------------------
+      if (toks[i + 2].text == "Acquire" && i + 3 < toks.size() &&
+          toks[i + 3].text == "(" && i >= 2 && toks[i - 1].text == "=" &&
+          toks[i - 2].kind == Token::kIdent) {
+        size_t end = toks.size();
+        int depth = 0;
+        for (size_t j = i; j < toks.size(); ++j) {
+          if (toks[j].text == "{") ++depth;
+          if (toks[j].text == "}" && --depth < 0) {
+            end = j;
+            break;
+          }
+        }
+        snapshots[toks[i - 2].text] = end;
+      }
+      continue;
+    }
+
+    // --- mutation through an acquired snapshot -----------------------------
+    const auto it = snapshots.find(tok.text);
+    if (it == snapshots.end() || i >= it->second || !IsAccessRoot(toks, i)) {
+      continue;
+    }
+    // Walk the access chain (`snap->levels.push_back`, `snap->count = ...`)
+    // to its final member, then judge the operation applied to it.
+    size_t j = i;
+    std::string last;
+    while (j + 2 < toks.size() &&
+           (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+           toks[j + 2].kind == Token::kIdent) {
+      last = toks[j + 2].text;
+      j += 2;
+    }
+    if (last.empty() || j + 1 >= toks.size()) continue;
+    const bool mutating_call =
+        IsMutatingMethod(last) && toks[j + 1].text == "(";
+    const bool member_write =
+        toks[j + 1].text == "=" &&
+        (j + 2 >= toks.size() || toks[j + 2].text != "=");
+    if (mutating_call || member_write) {
+      report(toks[j].line, "epoch-nonapi-access",
+             "snapshot '" + tok.text +
+                 "' acquired from an EpochPtr is mutated here ('" + last +
+                 "'); published snapshots are deep-immutable — build a new "
+                 "one off to the side and Publish it");
+    }
+  }
+}
+
 }  // namespace
 
 void Linter::Report(const std::string& path, int line, const std::string& rule,
@@ -710,6 +811,9 @@ void Linter::LintSource(const std::string& path, const std::string& contents) {
 
   // --- v3 rule pack: ABI/format contracts ----------------------------------
   LintAbiContracts(path, toks, report);
+
+  // --- epoch/snapshot discipline (batch-dynamic read path) -----------------
+  LintEpochDiscipline(path, toks, report);
 
   // --- function-structure pass: archive-symmetry + ops-budget --------------
   // One walk detects function definitions. For Save/Load definitions it

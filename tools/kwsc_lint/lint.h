@@ -69,6 +69,15 @@
 //       FlatArenaReader or std::byte*: a retained view that can outlive the
 //       mapping it points into. Store the MmapFile and re-derive.
 //
+// Epoch/snapshot discipline (the batch-dynamic read path; common/epoch.h
+// defines the vocabulary and is exempt):
+//   epoch-nonapi-access — an EpochPtr member touched through anything other
+//       than .Acquire()/.Publish()/.epoch(), or a snapshot obtained from
+//       Acquire() mutated in place (mutating method, member assignment)
+//       while in scope. Published level sets are deep-immutable; every
+//       access goes through the epoch API so concurrent readers never see
+//       a half-built or shifting state (DESIGN.md §7).
+//
 // v3 ABI/format rule pack (scoped to paths containing src/; the vocabulary
 // lives in common/abi.h + core/format_versions.h, which are exempt). These
 // are the per-file fast checks backing the tree-wide FORMATS.lock drift
